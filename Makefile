@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test vet bench exp race cover
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/tune/ ./internal/sim/
+
+bench:
+	go test -bench=. -benchmem .
+
+exp:
+	go run ./cmd/zexp -scale 2000000
+
+cover:
+	go test -coverprofile=cover.out ./... && go tool cover -func=cover.out | tail -1

@@ -1,0 +1,62 @@
+// Command zexp reproduces the paper's tables and figures: it runs the
+// experiments indexed in DESIGN.md (E1..E12) and prints their reports.
+//
+// Usage:
+//
+//	zexp                     # run everything at default scale
+//	zexp -exp mpki,fig4      # run selected experiments
+//	zexp -scale 2000000      # instructions per simulation
+//	zexp -list               # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"zbp/internal/exp"
+)
+
+func main() {
+	var (
+		ids   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		scale = flag.Int("scale", 1_000_000, "instructions per simulation run")
+		seed  = flag.Uint64("seed", 42, "workload seed")
+		seeds = flag.Int("seeds", 1, "seeds to average in the mpki experiment")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-10s %s (%s)\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	var selected []exp.Experiment
+	if *ids == "" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "zexp: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("zbp experiment runner: %d experiment(s), scale %d instructions, seed %d\n",
+		len(selected), *scale, *seed)
+	start := time.Now()
+	for _, e := range selected {
+		t0 := time.Now()
+		e.Run(exp.Options{W: os.Stdout, Scale: *scale, Seed: *seed, Seeds: *seeds})
+		fmt.Printf("[%s done in %v]\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("\nall done in %v\n", time.Since(start).Round(time.Millisecond))
+}

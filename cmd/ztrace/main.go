@@ -1,0 +1,103 @@
+// Command ztrace generates, inspects and converts instruction traces.
+//
+// Usage:
+//
+//	ztrace -workload lspr -n 1000000 -o lspr.zbpt   # generate
+//	ztrace -in lspr.zbpt                            # summarize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zbp/internal/trace"
+	"zbp/internal/workload"
+)
+
+func main() {
+	var (
+		wl   = flag.String("workload", "lspr", "workload name")
+		n    = flag.Int("n", 1_000_000, "records to generate")
+		out  = flag.String("o", "", "output trace file (generate mode)")
+		in   = flag.String("in", "", "input trace file (summarize mode)")
+		seed = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *in != "":
+		summarize(*in)
+	case *out != "":
+		generate(*wl, *seed, *n, *out)
+	default:
+		// Generate and summarize in memory.
+		src, err := workload.Make(*wl, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		printStats(*wl, trace.Collect(src, *n))
+	}
+}
+
+func generate(wl string, seed uint64, n int, path string) {
+	src, err := workload.Make(wl, seed)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	for i := 0; i < n; i++ {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(r); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d records to %s (%.2f bytes/record)\n",
+		w.Count(), path, float64(st.Size())/float64(w.Count()))
+}
+
+func summarize(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r := trace.NewReader(f)
+	st := trace.Collect(r, 0)
+	if err := r.Err(); err != nil {
+		fatal(err)
+	}
+	printStats(path, st)
+}
+
+func printStats(name string, st trace.Stats) {
+	fmt.Printf("trace %s:\n", name)
+	fmt.Printf("  instructions     %d\n", st.Instructions)
+	fmt.Printf("  avg instr length %.2f bytes\n", st.AvgInstrLen())
+	fmt.Printf("  branches         %d (1 per %.2f instructions)\n", st.Branches, st.BranchDensity())
+	fmt.Printf("  taken ratio      %.3f\n", st.TakenRatio())
+	fmt.Printf("  conditional      %d, indirect %d\n", st.Conditional, st.Indirect)
+	fmt.Printf("  distinct branches %d\n", st.DistinctBr)
+	fmt.Printf("  code footprint   %d x 64B lines (~%.1f KB)\n", st.Footprint, float64(st.Footprint)*64/1024)
+	fmt.Printf("  context switches %d\n", st.CtxSwitches)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ztrace:", err)
+	os.Exit(1)
+}

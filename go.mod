@@ -1,0 +1,3 @@
+module zbp
+
+go 1.22

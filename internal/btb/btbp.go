@@ -1,0 +1,171 @@
+package btb
+
+import "zbp/internal/zarch"
+
+// Preload is the BTBP, the preload/filter/victim buffer used before
+// z15 (paper §III): all BTB2 hit transfers were written here first,
+// predictions were made out of both BTB1 and BTBP, content moved into
+// the BTB1 only after a qualified BTBP hit, and BTB1 victims were
+// captured here. z15 removed it, spending the area on a larger BTB1;
+// it exists in this package so the zEC12/z13/z14 baseline
+// configurations are faithful.
+//
+// The BTBP is modeled as a small fully-associative LRU buffer.
+type Preload struct {
+	entries []pentry
+	tick    uint64
+	stats   PreloadStats
+}
+
+type pentry struct {
+	valid bool
+	info  Info
+	stamp uint64
+}
+
+// PreloadStats counts BTBP events.
+type PreloadStats struct {
+	Installs int64
+	Hits     int64
+	Promotes int64
+}
+
+// NewPreload returns a BTBP with the given capacity.
+func NewPreload(capacity int) *Preload {
+	if capacity <= 0 {
+		panic("btb: BTBP capacity must be positive")
+	}
+	return &Preload{entries: make([]pentry, capacity)}
+}
+
+// Stats returns a copy of the counters.
+func (p *Preload) Stats() PreloadStats { return p.stats }
+
+// Install writes info, replacing a same-address entry or the LRU one.
+// The displaced victim, if any, is returned: in the semi-exclusive
+// pre-z15 designs, BTBP victims flow onward into the BTB2.
+func (p *Preload) Install(info Info) (victim Info, evicted bool) {
+	p.stats.Installs++
+	p.tick++
+	lru := 0
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.valid && e.info.Addr == info.Addr {
+			e.info = info
+			e.stamp = p.tick
+			return Info{}, false
+		}
+		if !e.valid {
+			*e = pentry{valid: true, info: info, stamp: p.tick}
+			return Info{}, false
+		}
+		if e.stamp < p.entries[lru].stamp {
+			lru = i
+		}
+	}
+	victim = p.entries[lru].info
+	p.entries[lru] = pentry{valid: true, info: info, stamp: p.tick}
+	return victim, true
+}
+
+// SearchLine returns the branches in the given line (by true address;
+// the BTBP is small enough that the model gives it full tags), sorted
+// by address.
+func (p *Preload) SearchLine(line zarch.Addr, lineBytes int) []Info {
+	base := line &^ zarch.Addr(lineBytes-1)
+	var out []Info
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.valid && e.info.Addr >= base && e.info.Addr < base+zarch.Addr(lineBytes) {
+			out = append(out, e.info)
+		}
+	}
+	if len(out) > 1 {
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j].Addr < out[j-1].Addr; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+	}
+	if len(out) > 0 {
+		p.stats.Hits++
+	}
+	return out
+}
+
+// Promote removes and returns the entry for addr, if present: a
+// qualified BTBP hit moves the branch into the BTB1.
+func (p *Preload) Promote(addr zarch.Addr) (Info, bool) {
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.valid && e.info.Addr == addr {
+			e.valid = false
+			p.stats.Promotes++
+			return e.info, true
+		}
+	}
+	return Info{}, false
+}
+
+// Occupancy returns the number of valid entries.
+func (p *Preload) Occupancy() int {
+	n := 0
+	for i := range p.entries {
+		if p.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Stage is the staging queue between the BTB2 and the BTB1 write port
+// (paper §III): BTB2 hits are buffered here and drained one per cycle
+// through the read-before-write duplicate check. It is "sized to handle
+// the vast statistical majority of BTB2 branch hit transfers"; overflow
+// is dropped and counted.
+type Stage struct {
+	buf      []Info
+	capacity int
+	drops    int64
+	peak     int
+}
+
+// NewStage returns a staging queue with the given capacity.
+func NewStage(capacity int) *Stage {
+	if capacity <= 0 {
+		panic("btb: stage capacity must be positive")
+	}
+	return &Stage{capacity: capacity}
+}
+
+// Push enqueues info, dropping it (and counting the drop) when full.
+func (s *Stage) Push(info Info) {
+	if len(s.buf) >= s.capacity {
+		s.drops++
+		return
+	}
+	s.buf = append(s.buf, info)
+	if len(s.buf) > s.peak {
+		s.peak = len(s.buf)
+	}
+}
+
+// Pop dequeues the oldest entry.
+func (s *Stage) Pop() (Info, bool) {
+	if len(s.buf) == 0 {
+		return Info{}, false
+	}
+	info := s.buf[0]
+	copy(s.buf, s.buf[1:])
+	s.buf = s.buf[:len(s.buf)-1]
+	return info, true
+}
+
+// Len returns the current queue depth.
+func (s *Stage) Len() int { return len(s.buf) }
+
+// Drops returns how many transfers were lost to a full queue.
+func (s *Stage) Drops() int64 { return s.drops }
+
+// Peak returns the maximum depth observed.
+func (s *Stage) Peak() int { return s.peak }

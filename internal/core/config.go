@@ -1,0 +1,215 @@
+// Package core assembles the z15 asynchronous lookahead branch
+// predictor (paper §III-§VI): the two-level BTB with staging queue and
+// periodic refresh, the six-cycle b0..b5 search pipeline with CPRED
+// acceleration and SKOOT skipping, the direction and target auxiliary
+// predictors, the global prediction queue (GPQ) discipline, and the
+// completion-time update engine. Generational presets reproduce the
+// zEC12, z13 and z14 baselines the paper's history section describes.
+package core
+
+import (
+	"fmt"
+
+	"zbp/internal/btb"
+	"zbp/internal/cpred"
+	"zbp/internal/dirpred"
+	"zbp/internal/tgt"
+)
+
+// Config fully describes a predictor generation.
+type Config struct {
+	// Name labels the configuration ("z15", "z14", ...).
+	Name string
+
+	// BTB1 is the first-level BTB geometry; its LineShift is also the
+	// search granule (64B single-port on z15, 32B dual-port before).
+	BTB1 btb.Geometry
+	// BTB2Enabled turns the second level on.
+	BTB2Enabled bool
+	BTB2        btb.Geometry
+	// BTBPEntries sizes the preload buffer; 0 (z15) removes it.
+	BTBPEntries int
+	// StageCap is the BTB2->BTB1 staging queue depth.
+	StageCap int
+	// BTB2MissRun is the number of successive no-prediction searches
+	// that triggers a BTB2 backfill search (3 on z15).
+	BTB2MissRun int
+	// BTB2RegionLines/BTB2MaxBranches bound one bulk BTB2 search (up to
+	// 128 branches, §III).
+	BTB2RegionLines int
+	BTB2MaxBranches int
+	// SurpriseWindow/SurpriseRun: a proactive BTB2 search fires when
+	// SurpriseRun disruptive surprise branches complete within
+	// SurpriseWindow cycles (§III). Zero disables.
+	SurpriseWindow int64
+	SurpriseRun    int
+	// CtxPrefetch triggers a proactive BTB2 search on context-changing
+	// events (§III).
+	CtxPrefetch bool
+	// RefreshRun is the global count of no-hit searches after which one
+	// LRU entry is refreshed back into the BTB2 (§III). Zero disables
+	// (pre-z15 semi-exclusive designs).
+	RefreshRun int
+	// InclusiveInstall maintains the z15 semi-inclusive invariant (the
+	// BTB2 is an approximate superset of the BTB1, §III) by writing new
+	// installs to both levels; the periodic refresh then keeps the
+	// BTB2's *state* (counters, metadata) fresh. Pre-z15 designs are
+	// semi-exclusive: content reaches the BTB2 only as BTBP victims.
+	InclusiveInstall bool
+
+	// GPVDepth is the taken-branch path history length (9 or 17).
+	GPVDepth int
+	// Dir and Tgt parameterize the auxiliary predictors.
+	Dir dirpred.Config
+	Tgt tgt.Config
+	// CPred parameterizes the column predictor; zero entries disables.
+	CPred cpred.Config
+	// SkootEnabled turns SKOOT line-skipping on (z15 only).
+	SkootEnabled bool
+
+	// Pipeline timing (paper §IV, figures 4-7).
+	// PipeStages is the b0..b5 depth: a prediction issued at b0 in
+	// cycle c is presented at c+PipeStages-1.
+	PipeStages int
+	// CPredReindexStage is the b-cycle at which a CPRED hit re-indexes
+	// (2 -> taken-branch period of 2 cycles).
+	CPredReindexStage int
+	// SMT2SharedPort: true on z15 (threads alternate on one 64B port);
+	// false pre-z15 (each thread owns a 32B port every cycle).
+	SMT2SharedPort bool
+	// SearchesPerCycleST is how many sequential b0 indexes a single
+	// thread can start per cycle (2 on the dual-port pre-z15 designs
+	// searching 2x32B, 1 on z15 searching 1x64B).
+	SearchesPerCycleST int
+
+	// PredQueueCap bounds the per-thread prediction queue to the
+	// IDU/ICM; a full queue throttles the search pipeline (§IV).
+	PredQueueCap int
+	// WriteQueueCap bounds the completion/install write queue.
+	WriteQueueCap int
+}
+
+// Validate checks internal consistency.
+func (c Config) Validate() error {
+	if err := validateGeo(c.BTB1); err != nil {
+		return fmt.Errorf("BTB1: %w", err)
+	}
+	if c.BTB2Enabled {
+		if err := validateGeo(c.BTB2); err != nil {
+			return fmt.Errorf("BTB2: %w", err)
+		}
+	}
+	if c.GPVDepth < 1 || c.GPVDepth > 32 {
+		return fmt.Errorf("core: GPVDepth %d out of range", c.GPVDepth)
+	}
+	if c.PipeStages < 2 || c.CPredReindexStage >= c.PipeStages {
+		return fmt.Errorf("core: bad pipeline stages %d/%d", c.PipeStages, c.CPredReindexStage)
+	}
+	if c.PredQueueCap < 1 || c.WriteQueueCap < 1 || c.StageCap < 1 {
+		return fmt.Errorf("core: queue capacities must be positive")
+	}
+	if c.SearchesPerCycleST < 1 {
+		return fmt.Errorf("core: SearchesPerCycleST must be >= 1")
+	}
+	return nil
+}
+
+func validateGeo(g btb.Geometry) error {
+	if g.Ways <= 0 || g.RowBits == 0 {
+		return fmt.Errorf("invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// Z15 returns the z15 configuration: 16K-entry BTB1 (2K x 8, 64B
+// single-port lines), 128K-entry BTB2, TAGE short+long PHT, perceptron,
+// CTB-17, enhanced CRS, CPRED with SKOOT, no BTBP, semi-inclusive BTB2
+// with periodic refresh.
+func Z15() Config {
+	return Config{
+		Name:        "z15",
+		BTB1:        btb.Geometry{RowBits: 11, Ways: 8, TagBits: 15, LineShift: 6},
+		BTB2Enabled: true,
+		BTB2:        btb.Geometry{RowBits: 15, Ways: 4, TagBits: 13, LineShift: 6},
+		BTBPEntries: 0,
+		StageCap:    128,
+		BTB2MissRun: 3, BTB2RegionLines: 32, BTB2MaxBranches: 128,
+		SurpriseWindow: 256, SurpriseRun: 4, CtxPrefetch: true,
+		RefreshRun: 16, InclusiveInstall: true,
+		GPVDepth:     17,
+		Dir:          dirpred.DefaultZ15(),
+		Tgt:          tgt.DefaultZ15(),
+		CPred:        cpred.DefaultZ15(),
+		SkootEnabled: true,
+		PipeStages:   6, CPredReindexStage: 2,
+		SMT2SharedPort: true, SearchesPerCycleST: 1,
+		PredQueueCap: 24, WriteQueueCap: 16,
+	}
+}
+
+// Z14 returns the z14 baseline: 8K-entry BTB1 (32B dual-port lines),
+// 128K-entry BTB2 with BTBP, single tagged PHT over a 17-deep GPV,
+// perceptron, basic CRS (no amnesty), CPRED without SKOOT.
+func Z14() Config {
+	c := Z15()
+	c.Name = "z14"
+	c.BTB1 = btb.Geometry{RowBits: 11, Ways: 4, TagBits: 15, LineShift: 5}
+	c.BTB2 = btb.Geometry{RowBits: 15, Ways: 4, TagBits: 13, LineShift: 5}
+	c.BTBPEntries = 128
+	c.RefreshRun = 0 // semi-exclusive: BTBP is the victim buffer
+	c.InclusiveInstall = false
+	c.GPVDepth = 17 // extended on z14 for the perceptron (§V)
+	c.Dir.TwoTables = false
+	// The single tagged PHT is the z196-lineage design (§V); the paper
+	// attributes the deep (17-branch) pattern index to the z15 TAGE
+	// long table, so the z14 baseline keeps the 9-branch index.
+	c.Dir.ShortHist = 9
+	c.Tgt.CTBHist = 9
+	c.Tgt.AmnestyN = 0 // blacklist is permanent pre-z15
+	c.SkootEnabled = false
+	c.SMT2SharedPort = false
+	c.SearchesPerCycleST = 2
+	return c
+}
+
+// Z13 returns the z13 baseline: 8K-entry BTB1, 64K-entry BTB2 with
+// BTBP, single tagged PHT over a 9-deep GPV, no perceptron, no CRS, no
+// CPRED.
+func Z13() Config {
+	c := Z14()
+	c.Name = "z13"
+	c.BTB2 = btb.Geometry{RowBits: 14, Ways: 4, TagBits: 13, LineShift: 5}
+	c.GPVDepth = 9
+	c.Dir.ShortHist = 9
+	c.Dir.PerceptronEnabled = false
+	c.Tgt.CRSEnabled = false
+	c.CPred.Entries = 0
+	return c
+}
+
+// ZEC12 returns the zEC12 baseline, the original two-level design
+// (§III): 4K-entry BTB1, 24K-entry BTB2, BTBP, single PHT, no
+// perceptron/CRS/CPRED.
+func ZEC12() Config {
+	c := Z13()
+	c.Name = "zEC12"
+	c.BTB1 = btb.Geometry{RowBits: 10, Ways: 4, TagBits: 15, LineShift: 5}
+	c.BTB2 = btb.Geometry{RowBits: 13, Ways: 3, TagBits: 13, LineShift: 5}
+	c.BTBPEntries = 64
+	return c
+}
+
+// Generations returns the four presets oldest-first.
+func Generations() []Config {
+	return []Config{ZEC12(), Z13(), Z14(), Z15()}
+}
+
+// ByName returns the named preset.
+func ByName(name string) (Config, error) {
+	for _, c := range Generations() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("core: unknown config %q (have zEC12, z13, z14, z15)", name)
+}

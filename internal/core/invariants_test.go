@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"zbp/internal/btb"
+	"zbp/internal/hashx"
+	"zbp/internal/sat"
+	"zbp/internal/zarch"
+)
+
+// TestPredictionStreamInvariants drives a bare core over a randomly
+// preloaded branch population with random restarts and checks the
+// ordering contract the front end depends on:
+//
+//  1. presented predictions come out in nondecreasing PresentedAt
+//     order per thread;
+//  2. stream numbers are nondecreasing within an epoch and reset to 0
+//     after a restart;
+//  3. within one stream, prediction addresses strictly increase;
+//  4. a stream is left only by a taken prediction (every prediction
+//     before the last of a stream is not-taken).
+func TestPredictionStreamInvariants(t *testing.T) {
+	rng := hashx.New(77)
+	c := New(Z15())
+
+	// Random branch population in a 1MB region: mixed kinds, mixed
+	// directions.
+	for i := 0; i < 2000; i++ {
+		addr := zarch.Addr(0x100000 + rng.Intn(1<<20)&^1)
+		kind := []zarch.BranchKind{
+			zarch.KindCondRel, zarch.KindUncondRel, zarch.KindUncondInd, zarch.KindLoop,
+		}[rng.Intn(4)]
+		target := zarch.Addr(0x100000 + rng.Intn(1<<20)&^1)
+		if target == 0 {
+			target = 0x100000
+		}
+		bht := sat.Counter2(rng.Intn(4))
+		c.Preload(1, btb.Info{Addr: addr, Len: 4, Kind: kind, Target: target,
+			BHT: bht, Skoot: btb.SkootUnknown})
+	}
+
+	c.Restart(0, 0x100000, 0)
+	var lastPresented int64
+	var lastStream uint64
+	var lastEpoch uint64 = 1
+	var lastAddr zarch.Addr
+	var prevTakenEndedStream bool
+	fresh := true // no prediction seen yet in this epoch
+	checked := 0
+
+	for cycle := 0; cycle < 30000; cycle++ {
+		c.Cycle()
+		if rng.Bool(0.002) {
+			c.Restart(0, zarch.Addr(0x100000+rng.Intn(1<<20)&^1), 0)
+			lastEpoch++
+			lastStream = 0
+			lastPresented = 0
+			fresh = true
+		}
+		for {
+			p, ok := c.PopPred(0)
+			if !ok {
+				break
+			}
+			checked++
+			if p.Epoch != lastEpoch {
+				t.Fatalf("stale epoch %d (current %d)", p.Epoch, lastEpoch)
+			}
+			if p.PresentedAt < lastPresented {
+				t.Fatalf("PresentedAt went backward: %d after %d", p.PresentedAt, lastPresented)
+			}
+			if p.PresentedAt > c.Clock() {
+				t.Fatalf("future prediction popped: %d at clock %d", p.PresentedAt, c.Clock())
+			}
+			if p.Stream < lastStream {
+				t.Fatalf("stream went backward: %d after %d", p.Stream, lastStream)
+			}
+			if !fresh && p.Stream == lastStream && !prevTakenEndedStream && p.Addr <= lastAddr {
+				t.Fatalf("addresses not increasing within stream %d: %s after %s",
+					p.Stream, p.Addr, lastAddr)
+			}
+			if !fresh && p.Stream == lastStream && prevTakenEndedStream {
+				// A taken prediction must have advanced the stream.
+				t.Fatalf("taken prediction did not end stream %d", p.Stream)
+			}
+			lastPresented = p.PresentedAt
+			lastStream = p.Stream
+			lastAddr = p.Addr
+			prevTakenEndedStream = p.Taken
+			fresh = false
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d predictions checked", checked)
+	}
+}
+
+// TestCoveredNeverRegresses: once the BPL covers an address on the
+// live stream, it stays covered until a restart or stream change.
+func TestCoveredNeverRegresses(t *testing.T) {
+	c := New(Z15())
+	c.Restart(0, 0x10000, 0)
+	addr := zarch.Addr(0x10100)
+	covered := false
+	for i := 0; i < 64; i++ {
+		c.Cycle()
+		now := c.Covered(0, 1, 0, addr)
+		if covered && !now {
+			t.Fatalf("coverage of %s regressed at cycle %d", addr, c.Clock())
+		}
+		covered = now
+	}
+	if !covered {
+		t.Fatal("sequential search never covered the address")
+	}
+}
+
+// TestSeqStrictlyIncreases: GPQ sequence numbers are unique and
+// increasing across all predictions.
+func TestSeqStrictlyIncreases(t *testing.T) {
+	c := New(Z15())
+	a, b := zarch.Addr(0x10000), zarch.Addr(0x40000)
+	c.Preload(1, btb.Info{Addr: a + 8, Len: 4, Kind: zarch.KindUncondRel,
+		Target: b, BHT: sat.StrongT, Skoot: btb.SkootUnknown})
+	c.Preload(1, btb.Info{Addr: b + 8, Len: 4, Kind: zarch.KindUncondRel,
+		Target: a, BHT: sat.StrongT, Skoot: btb.SkootUnknown})
+	c.Restart(0, a, 0)
+	var last uint64
+	for i := 0; i < 500; i++ {
+		c.Cycle()
+		for {
+			p, ok := c.PopPred(0)
+			if !ok {
+				break
+			}
+			if p.Seq <= last {
+				t.Fatalf("seq %d after %d", p.Seq, last)
+			}
+			last = p.Seq
+		}
+	}
+}
+
+// TestDeactivateStopsSearching: a deactivated thread issues no further
+// searches and the other thread gets the full port.
+func TestDeactivateStopsSearching(t *testing.T) {
+	c := New(Z15())
+	c.Restart(0, 0x10000, 0)
+	c.Restart(1, 0x80000, 1)
+	for i := 0; i < 20; i++ {
+		c.Cycle()
+	}
+	c.Deactivate(1)
+	before := c.Stats().Searches
+	_, addrBefore, _ := c.SearchProgress(1)
+	for i := 0; i < 20; i++ {
+		c.Cycle()
+	}
+	_, addrAfter, _ := c.SearchProgress(1)
+	if addrAfter != addrBefore {
+		t.Error("deactivated thread kept searching")
+	}
+	// Thread 0 now gets ~1 search/cycle instead of every other cycle.
+	if got := c.Stats().Searches - before; got < 18 {
+		t.Errorf("surviving thread searched only %d in 20 cycles", got)
+	}
+}

@@ -1,0 +1,106 @@
+package cpred
+
+import (
+	"testing"
+
+	"zbp/internal/zarch"
+)
+
+func TestDisabled(t *testing.T) {
+	c := New(Config{})
+	if c.Enabled() {
+		t.Fatal("zero-entry CPRED enabled")
+	}
+	if r := c.Lookup(0x1000); r.Hit {
+		t.Fatal("disabled CPRED hit")
+	}
+	c.Update(0x1000, 1, 2, 0x2000, PowerAll) // must not panic
+	c.Invalidate(0x1000)
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := New(DefaultZ15())
+	if r := c.Lookup(0x1000); r.Hit {
+		t.Fatal("hit on empty table")
+	}
+	c.Update(0x1000, 3, 5, 0x4040, PowerPHT|PowerCTB)
+	r := c.Lookup(0x1000)
+	if !r.Hit || r.Searches != 3 || r.Way != 5 || r.Redirect != 0x4040 {
+		t.Fatalf("result = %+v", r)
+	}
+	if !r.Power.Has(PowerPHT) || !r.Power.Has(PowerCTB) || r.Power.Has(PowerPerceptron) {
+		t.Errorf("power = %b", r.Power)
+	}
+}
+
+func TestTagRejectsOtherStream(t *testing.T) {
+	c := New(DefaultZ15())
+	c.Update(0x1000, 3, 5, 0x4040, PowerAll)
+	// A different stream address with a different tag must miss; find
+	// one mapping to the same index.
+	miss := 0
+	for i := 1; i < 200; i++ {
+		a := zarch.Addr(0x1000 + i*2)
+		if r := c.Lookup(a); !r.Hit {
+			miss++
+		}
+	}
+	if miss < 150 {
+		t.Errorf("only %d/199 other streams missed", miss)
+	}
+}
+
+func TestMaxSearchesNotLearned(t *testing.T) {
+	cfg := DefaultZ15()
+	cfg.MaxSearches = 4
+	c := New(cfg)
+	c.Update(0x1000, 5, 0, 0x2000, PowerAll)
+	if r := c.Lookup(0x1000); r.Hit {
+		t.Fatal("over-long stream was learned")
+	}
+	c.Update(0x1000, 4, 0, 0x2000, PowerAll)
+	if r := c.Lookup(0x1000); !r.Hit {
+		t.Fatal("max-length stream not learned")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(DefaultZ15())
+	c.Update(0x1000, 1, 0, 0x2000, PowerAll)
+	c.Invalidate(0x1000)
+	if r := c.Lookup(0x1000); r.Hit {
+		t.Fatal("entry survived Invalidate")
+	}
+}
+
+func TestVerifyStats(t *testing.T) {
+	c := New(DefaultZ15())
+	c.Update(0x1000, 2, 1, 0x2000, PowerAll)
+	r := c.Lookup(0x1000)
+	c.Verify(r, 2, 0x2000)
+	c.Verify(r, 3, 0x2000)
+	c.Verify(Result{}, 9, 0x9999) // miss: ignored
+	st := c.Stats()
+	if st.Correct != 1 || st.Incorrect != 1 {
+		t.Errorf("verify stats = %+v", st)
+	}
+}
+
+func TestNewPanicsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New accepted non-power-of-two")
+		}
+	}()
+	New(Config{Entries: 1000})
+}
+
+func TestPowerMask(t *testing.T) {
+	if !PowerAll.Has(PowerPHT) || !PowerAll.Has(PowerPerceptron) || !PowerAll.Has(PowerCTB) {
+		t.Error("PowerAll incomplete")
+	}
+	var none PowerMask
+	if none.Has(PowerPHT) {
+		t.Error("empty mask has PHT")
+	}
+}

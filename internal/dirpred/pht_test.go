@@ -1,0 +1,153 @@
+package dirpred
+
+import (
+	"testing"
+
+	"zbp/internal/history"
+	"zbp/internal/sat"
+	"zbp/internal/zarch"
+)
+
+// fixedGPV returns a reproducible nonzero history.
+func fixedGPV(seed int) history.GPV {
+	g := history.New(17)
+	for i := 0; i < 17; i++ {
+		g = g.Push(zarch.Addr(0x1000 + (seed+i)*6))
+	}
+	return g
+}
+
+func TestPHTInstallOnlyOnMispredict(t *testing.T) {
+	u := z15Unit()
+	g := fixedGPV(1)
+	addr := zarch.Addr(0x1000)
+	// Correct predictions never install.
+	for i := 0; i < 10; i++ {
+		sel := u.Select(in(addr, g, uint64(i+1), sat.StrongT, true))
+		u.Resolve(sel, true)
+	}
+	if u.Stats().PHTInstalls != 0 {
+		t.Fatalf("installs on correct predictions: %d", u.Stats().PHTInstalls)
+	}
+	// One mispredict allocates.
+	sel := u.Select(in(addr, g, 99, sat.StrongT, true))
+	u.Resolve(sel, false)
+	if u.Stats().PHTInstalls != 1 {
+		t.Fatalf("installs after mispredict: %d", u.Stats().PHTInstalls)
+	}
+}
+
+func TestPHTShortFavoredTwoToOne(t *testing.T) {
+	// With both slots free, installs go short:long at 2:1 (§V). Drive
+	// many mispredicts at distinct (addr, history) points and check hit
+	// distribution via provider stats after re-prediction.
+	u := z15Unit()
+	shortInstalls, longInstalls := 0, 0
+	for i := 0; i < 300; i++ {
+		g := fixedGPV(i)
+		addr := zarch.Addr(0x1000 + i*0x40)
+		sel := u.Select(in(addr, g, uint64(i+1), sat.StrongT, true))
+		u.Resolve(sel, false) // mispredict -> install
+		// Check which table holds the new entry by re-selecting.
+		sel2 := u.Select(in(addr, g, uint64(i+1000), sat.StrongT, true))
+		switch {
+		case sel2.ShortHit && !sel2.LongHit:
+			shortInstalls++
+		case sel2.LongHit && !sel2.ShortHit:
+			longInstalls++
+		}
+	}
+	if shortInstalls <= longInstalls {
+		t.Fatalf("short=%d long=%d: 2:1 short bias missing", shortInstalls, longInstalls)
+	}
+	if longInstalls == 0 {
+		t.Fatal("long table never chosen")
+	}
+	ratio := float64(shortInstalls) / float64(longInstalls)
+	if ratio < 1.3 || ratio > 3.0 {
+		t.Errorf("short:long install ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestPHTShortMispredictEscalatesToLong(t *testing.T) {
+	u := z15Unit()
+	g := fixedGPV(7)
+	addr := zarch.Addr(0x2000)
+	// Install into the short table (repeat until the 2:1 rotor picks it).
+	for i := 0; ; i++ {
+		sel := u.Select(in(addr, g, uint64(i+1), sat.StrongT, true))
+		u.Resolve(sel, false)
+		sel2 := u.Select(in(addr, g, uint64(i+500), sat.StrongT, true))
+		if sel2.ShortHit {
+			break
+		}
+		if i > 10 {
+			t.Fatal("short entry never appeared")
+		}
+	}
+	// Make the short entry strong-NT so it provides, then mispredict it.
+	for i := 0; i < 3; i++ {
+		sel := u.Select(in(addr, g, uint64(i+600), sat.StrongT, true))
+		u.Resolve(sel, false)
+	}
+	sel := u.Select(in(addr, g, 700, sat.StrongT, true))
+	if sel.Provider != ProvPHTShort {
+		t.Skipf("short not provider (%v); escalation path not reachable here", sel.Provider)
+	}
+	u.Resolve(sel, true) // short was wrong -> attempt long install
+	sel2 := u.Select(in(addr, g, 701, sat.StrongT, true))
+	if !sel2.LongHit {
+		t.Error("mispredicting short table did not escalate into long")
+	}
+}
+
+func TestWeakFilteringBlocksColdWeakEntries(t *testing.T) {
+	// Drive the weak-confidence counter to zero with wrong weak
+	// predictions, then verify that a fresh (weak) PHT entry does not
+	// provide.
+	cfg := DefaultZ15()
+	cfg.PerceptronEnabled = false
+	u := New(cfg)
+	g := fixedGPV(3)
+	seq := uint64(0)
+	// Create many fresh entries and mispredict them while weak: each
+	// wrong weak provider decrements the confidence counter.
+	for i := 0; i < 40; i++ {
+		addr := zarch.Addr(0x3000 + i*0x80)
+		seq++
+		sel := u.Select(in(addr, g, seq, sat.StrongT, true))
+		u.Resolve(sel, false) // install Init(false) = weak NT
+		seq++
+		sel = u.Select(in(addr, g, seq, sat.StrongT, true))
+		u.Resolve(sel, true) // if PHT provided weakly, it was wrong
+	}
+	if u.Stats().WeakFiltered == 0 {
+		t.Error("weak filtering never engaged")
+	}
+}
+
+func TestUnconditionalNeverConsultsPHT(t *testing.T) {
+	u := z15Unit()
+	g := fixedGPV(5)
+	sel := u.Select(Input{Addr: 0x4000, GPV: g, Seq: 1, Conditional: false,
+		Bidirectional: true, AllowAux: true})
+	if sel.ShortHit || sel.LongHit || sel.PercHit {
+		t.Error("unconditional branch consulted aux structures")
+	}
+	if !sel.Taken {
+		t.Error("unconditional predicted not-taken")
+	}
+}
+
+func TestResolveCountsProviderAccuracy(t *testing.T) {
+	u := z15Unit()
+	g := fixedGPV(9)
+	addr := zarch.Addr(0x5000)
+	sel := u.Select(in(addr, g, 1, sat.StrongT, false))
+	u.Resolve(sel, true)
+	u.Resolve(u.Select(in(addr, g, 2, sat.StrongT, false)), false)
+	st := u.Stats()
+	if st.Issued[ProvBHT] != 2 || st.Correct[ProvBHT] != 1 {
+		t.Errorf("BHT stats = %d/%d", st.Correct[ProvBHT], st.Issued[ProvBHT])
+	}
+}

@@ -1,0 +1,139 @@
+// Package exp implements the reproduction experiments E1..E12 indexed
+// in DESIGN.md: one regenerator per table/figure/result of the paper.
+// Each experiment runs simulations and writes a self-describing report;
+// cmd/zexp drives them and EXPERIMENTS.md records their output against
+// the paper's claims.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"zbp/internal/btb"
+	"zbp/internal/core"
+	"zbp/internal/sat"
+	"zbp/internal/sim"
+	"zbp/internal/workload"
+	"zbp/internal/zarch"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// W receives the report.
+	W io.Writer
+	// Scale is the instruction budget per simulation (default 1M).
+	Scale int
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Seeds is the number of workload seeds the headline experiment
+	// averages over (default 1); more seeds reduce layout luck.
+	Seeds int
+}
+
+func (o Options) seeds() int {
+	if o.Seeds <= 0 {
+		return 1
+	}
+	return o.Seeds
+}
+
+func (o Options) scale() int {
+	if o.Scale <= 0 {
+		return 1_000_000
+	}
+	return o.Scale
+}
+
+// Experiment is one reproduction unit.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // what in the paper it reproduces
+	Run   func(Options)
+}
+
+// All returns every experiment in DESIGN.md order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Structure sizes by generation + BTB capacity sweep", "Table 1, §II.A/§III", E1Table1},
+		{"restart", "Restart penalty accounting", "Figure 1, §I/§II.B/§II.D", E2Restart},
+		{"fig4", "Taken-branch period without CPRED", "Figure 4, §IV", E3Fig4},
+		{"fig5", "Taken-branch period with CPRED; SMT2 port sharing", "Figures 5-7, §IV", E4Fig5},
+		{"fig8", "Direction-provider shares and accuracy", "Figure 8, §V", E5Fig8},
+		{"fig9", "Target-provider shares and wrong-target rates", "Figure 9, §VI", E6Fig9},
+		{"mpki", "Generational MPKI (headline result)", "§VIII: z13->z14 -9.6%, z14->z15 -25%", E7MPKI},
+		{"btb2", "Two-level BTB value and periodic refresh", "§III", E8BTB2},
+		{"prefetch", "Lookahead search as I-cache prefetcher", "§IV", E9Prefetch},
+		{"sbht", "Speculative BHT/PHT weak-loop pathology", "§IV", E10SBHT},
+		{"ablation", "z15 feature ablations", "§IV-§VI design choices", E11Ablation},
+		{"power", "CPRED power gating of auxiliary structures", "§IV/§VI", E12Power},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// runOn simulates n instructions of the named workload on cfg.
+func runOn(cfg sim.Config, name string, seed uint64, n int) sim.Result {
+	src, err := workload.Make(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return sim.RunWorkload(cfg, src, n)
+}
+
+// header prints a section banner.
+func header(w io.Writer, e Experiment) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", e.ID, e.Title)
+	fmt.Fprintf(w, "reproduces: %s\n\n", e.Paper)
+}
+
+// takenPeriod measures the steady-state cycle gap between consecutive
+// predicted-taken branches in a two-branch loop on a bare core
+// (figures 4-7 timing).
+func takenPeriod(cfg core.Config, smt2 bool) float64 {
+	c := core.New(cfg)
+	mk := func(addr, target zarch.Addr) btb.Info {
+		return btb.Info{Addr: addr, Len: 4, Kind: zarch.KindUncondRel,
+			Target: target, BHT: sat.StrongT, Skoot: btb.SkootUnknown}
+	}
+	a, b := zarch.Addr(0x10000), zarch.Addr(0x40000)
+	c.Preload(1, mk(a+8, b))
+	c.Preload(1, mk(b+8, a))
+	c.Restart(0, a, 0)
+	if smt2 {
+		a2, b2 := zarch.Addr(0x90000), zarch.Addr(0xc0000)
+		c.Preload(1, mk(a2+8, b2))
+		c.Preload(1, mk(b2+8, a2))
+		c.Restart(1, a2, 1)
+	}
+	var times []int64
+	warm, meas := 60, 120
+	for len(times) < warm+meas {
+		c.Cycle()
+		for {
+			p, ok := c.PopPred(0)
+			if !ok {
+				break
+			}
+			if p.Taken {
+				times = append(times, p.PresentedAt)
+			}
+		}
+		if smt2 {
+			for {
+				if _, ok := c.PopPred(1); !ok {
+					break
+				}
+			}
+		}
+	}
+	return float64(times[len(times)-1]-times[warm]) / float64(len(times)-1-warm)
+}

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"zbp/internal/core"
+)
+
+func TestAllExperimentsRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			e.Run(Options{W: &buf, Scale: 60000, Seed: 3})
+			out := buf.String()
+			if !strings.Contains(out, e.ID) {
+				t.Errorf("report missing banner:\n%s", out)
+			}
+			if len(out) < 200 {
+				t.Errorf("suspiciously short report:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("mpki"); !ok {
+		t.Error("mpki experiment missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id found")
+	}
+	if len(All()) != 12 {
+		t.Errorf("experiments = %d, want 12", len(All()))
+	}
+}
+
+func TestTakenPeriodMatchesPaper(t *testing.T) {
+	noCp := core.Z15()
+	noCp.CPred.Entries = 0
+	if p := takenPeriod(noCp, false); p < 4.8 || p > 5.4 {
+		t.Errorf("no-CPRED ST period = %.2f, want ~5 (figure 4)", p)
+	}
+	if p := takenPeriod(core.Z15(), false); p < 1.9 || p > 2.4 {
+		t.Errorf("CPRED ST period = %.2f, want ~2 (figure 5)", p)
+	}
+	if p := takenPeriod(noCp, true); p < 5.7 || p > 6.5 {
+		t.Errorf("no-CPRED SMT2 period = %.2f, want ~6 (§IV)", p)
+	}
+}
+
+func TestWeakLoopPathologyShape(t *testing.T) {
+	// The E10 premise must hold: disabling SBHT/SPHT hurts (or at least
+	// never helps) on the weak-loop workload.
+	var with, without bytes.Buffer
+	E10SBHT(Options{W: &with, Scale: 150000, Seed: 3})
+	_ = without
+	out := with.String()
+	if !strings.Contains(out, "SBHT/SPHT disabled") {
+		t.Fatalf("report malformed:\n%s", out)
+	}
+}

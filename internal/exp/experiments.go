@@ -1,0 +1,401 @@
+package exp
+
+import (
+	"fmt"
+
+	"zbp/internal/core"
+	"zbp/internal/dirpred"
+	"zbp/internal/metrics"
+	"zbp/internal/sim"
+	"zbp/internal/trace"
+	"zbp/internal/workload"
+)
+
+// E1Table1 reprints the modeled Table 1 (structure sizes per
+// generation) and sweeps BTB1 capacity on a large-footprint workload to
+// show the capacity lever of §II.A/§III.
+func E1Table1(o Options) {
+	e, _ := ByID("table1")
+	header(o.W, e)
+
+	tab := metrics.NewTable("machine", "BTB1", "BTB2", "BTBP", "GPV", "PHT", "perceptron", "CRS", "CPRED", "SKOOT", "L1I", "L2I")
+	for _, cfg := range core.Generations() {
+		sc := sim.ForGeneration(cfg)
+		pht := "1 table"
+		if cfg.Dir.TwoTables {
+			pht = "TAGE 2 tables"
+		}
+		yn := func(b bool) string {
+			if b {
+				return "yes"
+			}
+			return "no"
+		}
+		tab.Row(cfg.Name,
+			fmt.Sprintf("%dK", cfg.BTB1.Capacity()/1024),
+			fmt.Sprintf("%dK", cfg.BTB2.Capacity()/1024),
+			cfg.BTBPEntries,
+			cfg.GPVDepth,
+			pht,
+			yn(cfg.Dir.PerceptronEnabled),
+			yn(cfg.Tgt.CRSEnabled),
+			yn(cfg.CPred.Entries > 0),
+			yn(cfg.SkootEnabled),
+			fmt.Sprintf("%dKB", sc.ICache.L1Bytes/1024),
+			fmt.Sprintf("%dMB", sc.ICache.L2Bytes/(1<<20)),
+		)
+	}
+	tab.Render(o.W)
+
+	fmt.Fprintf(o.W, "\nBTB1 capacity sweep (z15 otherwise, workload lspr, %d instructions):\n", o.scale())
+	sweep := metrics.NewTable("BTB1 entries", "MPKI", "surprises", "accuracy")
+	for _, rowBits := range []uint{7, 8, 9, 10, 11} {
+		cfg := sim.Z15()
+		cfg.Core.BTB1.RowBits = rowBits
+		res := runOn(cfg, "lspr", o.Seed, o.scale())
+		sweep.Row(cfg.Core.BTB1.Capacity(), res.MPKI(), res.Threads[0].Surprises,
+			fmt.Sprintf("%.4f", res.Accuracy()))
+	}
+	sweep.Render(o.W)
+	fmt.Fprintln(o.W, "\nexpected shape: MPKI decreases monotonically with BTB1 capacity.")
+}
+
+// E2Restart quantifies the restart penalties of §I/§II: the configured
+// 26-cycle flush plus queue-refill inefficiency, and the measured
+// per-mispredict statistical cost.
+func E2Restart(o Options) {
+	e, _ := ByID("restart")
+	header(o.W, e)
+	cfg := sim.Z15()
+	fmt.Fprintf(o.W, "configured: restart=%d cycles, queue refill=+%d (paper: 26, up to +10, ~35 statistical)\n\n",
+		cfg.Front.RestartPenalty, cfg.Front.QueueRefillPenalty)
+	tab := metrics.NewTable("workload", "mispredicts", "restart stall cyc", "stall/mispredict", "IPC")
+	for _, name := range []string{"lspr", "micro", "indirect"} {
+		res := runOn(cfg, name, o.Seed, o.scale())
+		t := res.Threads[0]
+		events := t.DynWrongDir + t.DynWrongTarget + t.SurpriseWrong +
+			t.SurpriseTakenRel + t.SurpriseTakenInd + t.BadPredictions
+		tab.Row(name, res.Mispredicts(), t.RestartStall,
+			fmt.Sprintf("%.1f", metrics.Ratio(t.RestartStall, events)),
+			fmt.Sprintf("%.2f", res.IPC()))
+	}
+	tab.Render(o.W)
+	fmt.Fprintln(o.W, "\nexpected shape: ~26-34 cycles lost per restart event.")
+}
+
+// E3Fig4 measures the 6-stage pipeline's taken-branch period without
+// CPRED: one predicted taken branch every 5 cycles (figure 4).
+func E3Fig4(o Options) {
+	e, _ := ByID("fig4")
+	header(o.W, e)
+	cfg := core.Z15()
+	cfg.CPred.Entries = 0
+	tab := metrics.NewTable("configuration", "taken-branch period (cycles)", "paper")
+	tab.Row("z15, no CPRED, single thread", fmt.Sprintf("%.2f", takenPeriod(cfg, false)), "5")
+	tab.Row("z15, no CPRED, SMT2", fmt.Sprintf("%.2f", takenPeriod(cfg, true)), "6")
+	tab.Render(o.W)
+	renderTimelines(o.W)
+}
+
+// E4Fig5 measures the CPRED-accelerated period (figure 5: re-index at
+// b2, a taken branch every 2 cycles) and SKOOT's search savings
+// (figures 6-7).
+func E4Fig5(o Options) {
+	e, _ := ByID("fig5")
+	header(o.W, e)
+	tab := metrics.NewTable("configuration", "taken-branch period (cycles)", "paper")
+	tab.Row("z15 with CPRED, single thread", fmt.Sprintf("%.2f", takenPeriod(core.Z15(), false)), "2")
+	noCp := core.Z15()
+	noCp.CPred.Entries = 0
+	tab.Row("z15 without CPRED, single thread", fmt.Sprintf("%.2f", takenPeriod(noCp, false)), "5")
+	tab.Render(o.W)
+
+	fmt.Fprintf(o.W, "\nSKOOT search savings (workload lspr, %d instructions):\n", o.scale())
+	skootTab := metrics.NewTable("SKOOT", "searches", "no-pred searches", "lines skipped", "searches/instr")
+	for _, on := range []bool{true, false} {
+		cfg := sim.Z15()
+		cfg.Core.SkootEnabled = on
+		res := runOn(cfg, "lspr", o.Seed, o.scale())
+		label := "off"
+		if on {
+			label = "on"
+		}
+		skootTab.Row(label, res.Core.Searches, res.Core.NoPredSearches,
+			res.Core.SkootLinesSkipped,
+			fmt.Sprintf("%.3f", metrics.Ratio(res.Core.Searches, res.Instructions())))
+	}
+	skootTab.Render(o.W)
+	fmt.Fprintln(o.W, "\nexpected shape: SKOOT reduces total and empty searches.")
+}
+
+// E5Fig8 reports which structure provided each direction prediction and
+// how accurate each provider was (the figure 8 selection tree at work).
+func E5Fig8(o Options) {
+	e, _ := ByID("fig8")
+	header(o.W, e)
+	for _, name := range []string{"patterned", "lspr"} {
+		res := runOn(sim.Z15(), name, o.Seed, o.scale())
+		fmt.Fprintf(o.W, "workload %s:\n", name)
+		tab := metrics.NewTable("provider", "issued", "share", "accuracy")
+		var total int64
+		for _, v := range res.Dir.Issued {
+			total += v
+		}
+		for p := dirpred.ProvNone; p <= dirpred.ProvPerceptron; p++ {
+			iss := res.Dir.Issued[p]
+			if iss == 0 {
+				continue
+			}
+			tab.Row(p.String(), iss, metrics.Pct(iss, total), metrics.Pct(res.Dir.Correct[p], iss))
+		}
+		tab.Render(o.W)
+		fmt.Fprintln(o.W)
+	}
+	fmt.Fprintln(o.W, "expected shape: BHT dominates volume; TAGE/perceptron carry the pattern/correlated branches with high accuracy.")
+}
+
+// E6Fig9 reports target-provider shares and wrong-target rates (the
+// figure 9 selection tree at work).
+func E6Fig9(o Options) {
+	e, _ := ByID("fig9")
+	header(o.W, e)
+	providers := []string{"btb", "ctb", "crs"}
+	for _, name := range []string{"callret", "indirect", "lspr"} {
+		res := runOn(sim.Z15(), name, o.Seed, o.scale())
+		t := res.Threads[0]
+		fmt.Fprintf(o.W, "workload %s (returns marked: %d, blacklists: %d, amnesties: %d):\n",
+			name, res.Tgt.ReturnsMarked, res.Tgt.Blacklists, res.Tgt.Amnesties)
+		tab := metrics.NewTable("provider", "taken predictions", "wrong target", "wrong rate")
+		for i, p := range providers {
+			if t.TgtProvided[i] == 0 {
+				continue
+			}
+			tab.Row(p, t.TgtProvided[i], t.TgtWrong[i], metrics.Pct(t.TgtWrong[i], t.TgtProvided[i]))
+		}
+		tab.Render(o.W)
+		fmt.Fprintln(o.W)
+	}
+	fmt.Fprintln(o.W, "expected shape: CRS covers call/return targets, CTB covers path-correlated switches; BTB alone would mispredict multi-target branches.")
+}
+
+// E7MPKI reproduces the headline result's shape: MPKI falls across
+// generations, with the z15 step larger than the z14 step (paper §VIII:
+// -9.6% z13->z14, -25% z14->z15 on LSPR workloads).
+func E7MPKI(o Options) {
+	e, _ := ByID("mpki")
+	header(o.W, e)
+	names := []string{"lspr", "lspr-large", "micro", "mixed"}
+	if o.seeds() > 1 {
+		fmt.Fprintf(o.W, "averaging over %d workload seeds per cell.\n\n", o.seeds())
+	}
+	perGen := map[string][]float64{}
+	for _, gen := range core.Generations() {
+		for _, name := range names {
+			sum := 0.0
+			for k := 0; k < o.seeds(); k++ {
+				res := runOn(sim.ForGeneration(gen), name, o.Seed+uint64(k)*101, o.scale())
+				sum += res.MPKI()
+			}
+			perGen[gen.Name] = append(perGen[gen.Name], sum/float64(o.seeds()))
+		}
+	}
+	tab := metrics.NewTable(append([]string{"machine"}, names...)...)
+	for _, gen := range core.Generations() {
+		row := []interface{}{gen.Name}
+		for _, v := range perGen[gen.Name] {
+			row = append(row, fmt.Sprintf("%.2f", v))
+		}
+		tab.Row(row...)
+	}
+	tab.Render(o.W)
+
+	avg := func(vs []float64) float64 {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		return s / float64(len(vs))
+	}
+	a13, a14, a15 := avg(perGen["z13"]), avg(perGen["z14"]), avg(perGen["z15"])
+	fmt.Fprintf(o.W, "\naverage MPKI: z13=%.2f z14=%.2f z15=%.2f\n", a13, a14, a15)
+	fmt.Fprintf(o.W, "z13->z14: %s (paper: -9.6%%)\n", metrics.Delta(a13, a14))
+	fmt.Fprintf(o.W, "z14->z15: %s (paper: -25%%)\n", metrics.Delta(a14, a15))
+	fmt.Fprintln(o.W, "expected shape: both deltas negative, z15 step larger than z14 step.")
+}
+
+// E8BTB2 quantifies the two-level BTB (§III): surprises and MPKI with
+// the BTB2 disabled, and the periodic-refresh contribution.
+func E8BTB2(o Options) {
+	e, _ := ByID("btb2")
+	header(o.W, e)
+	type variant struct {
+		name string
+		mod  func(*sim.Config)
+	}
+	variants := []variant{
+		{"z15 (BTB2 on)", func(*sim.Config) {}},
+		{"no BTB2", func(c *sim.Config) { c.Core.BTB2Enabled = false }},
+		{"no periodic refresh", func(c *sim.Config) { c.Core.RefreshRun = 0 }},
+		{"no proactive trigger", func(c *sim.Config) { c.Core.SurpriseRun = 0 }},
+	}
+	section := func(title, wl string, rowBits uint) {
+		fmt.Fprintf(o.W, "%s (workload %s, %d instructions):\n", title, wl, o.scale())
+		tab := metrics.NewTable("configuration", "surprises", "MPKI", "IPC", "backfill triggers", "refresh writes")
+		for _, v := range variants {
+			cfg := sim.Z15()
+			cfg.Core.BTB1.RowBits = rowBits
+			v.mod(&cfg)
+			res := runOn(cfg, wl, o.Seed, o.scale())
+			tab.Row(v.name, res.Threads[0].Surprises, fmt.Sprintf("%.2f", res.MPKI()),
+				fmt.Sprintf("%.2f", res.IPC()),
+				res.Core.BTB2MissTriggers, res.Core.RefreshWrites)
+		}
+		tab.Render(o.W)
+		fmt.Fprintln(o.W)
+	}
+	section("full-size 16K BTB1, footprint pressure", "lspr-large", 11)
+	section("shrunken 2K BTB1, heavy capacity crunch", "lspr", 8)
+	fmt.Fprintln(o.W, "expected shape: the BTB2 reduces surprises (its §III job is branch")
+	fmt.Fprintln(o.W, "coverage). MPKI stays roughly neutral at simulation scale: backfilled")
+	fmt.Fprintln(o.W, "entries predict with install-time counter state, trading cheap static")
+	fmt.Fprintln(o.W, "guesses for occasional stale dynamic predictions.")
+}
+
+// E9Prefetch shows the lookahead predictor acting as an instruction
+// prefetcher (§IV): fetch-stall cycles with and without BPL-driven
+// prefetch.
+func E9Prefetch(o Options) {
+	e, _ := ByID("prefetch")
+	header(o.W, e)
+	tab := metrics.NewTable("workload", "prefetch", "fetch stall cyc", "IPC", "useful prefetches", "L1 hit rate")
+	for _, name := range []string{"lspr", "lspr-large", "micro"} {
+		for _, on := range []bool{true, false} {
+			cfg := sim.Z15()
+			cfg.Prefetch = on
+			res := runOn(cfg, name, o.Seed, o.scale())
+			label := "off"
+			if on {
+				label = "on"
+			}
+			tab.Row(name, label, res.Threads[0].FetchStall,
+				fmt.Sprintf("%.2f", res.IPC()), res.IC.PrefetchUseful,
+				metrics.Pct(res.IC.L1Hits, res.IC.Accesses))
+		}
+	}
+	tab.Render(o.W)
+	fmt.Fprintln(o.W, "\nexpected shape: prefetch removes most fetch-stall cycles on large footprints.")
+}
+
+// E10SBHT reproduces the weak-loop-branch pathology (§IV): with the
+// speculative BHT/PHT disabled, delayed GPQ-state-based updates let a
+// mostly-taken loop branch's counter be knocked to not-taken, causing
+// mispredict storms.
+func E10SBHT(o Options) {
+	e, _ := ByID("sbht")
+	header(o.W, e)
+	fmt.Fprintln(o.W, "The BHT-only rows isolate the §IV scenario (a weak-taken loop branch")
+	fmt.Fprintln(o.W, "with several in-flight instances); the full-z15 rows show the TAGE")
+	fmt.Fprintln(o.W, "PHT absorbing most of the exposure once the branch turns bidirectional.")
+	fmt.Fprintln(o.W)
+	tab := metrics.NewTable("configuration", "MPKI", "dyn wrong direction", "accuracy")
+	for _, v := range []struct {
+		label   string
+		entries int
+		auxOff  bool
+	}{
+		{"BHT only, SBHT 8 entries", 8, true},
+		{"BHT only, SBHT disabled", 0, true},
+		{"full z15, SBHT/SPHT 8 entries", 8, false},
+		{"full z15, SBHT/SPHT disabled", 0, false},
+	} {
+		cfg := sim.Z15()
+		cfg.Core.Dir.SpecEntries = v.entries
+		if v.auxOff {
+			cfg.Core.Dir.PHTEnabled = false
+			cfg.Core.Dir.PerceptronEnabled = false
+		}
+		src := weakLoop(o.Seed)
+		res := sim.RunWorkload(cfg, src, o.scale())
+		tab.Row(v.label, fmt.Sprintf("%.2f", res.MPKI()), res.Threads[0].DynWrongDir,
+			fmt.Sprintf("%.4f", res.Accuracy()))
+	}
+	tab.Render(o.W)
+	fmt.Fprintln(o.W, "\nexpected shape: without the speculative trackers, wrong directions rise on the weak loop branch (sharply in the BHT-only rows).")
+}
+
+// weakLoop builds the pathological §IV workload: a tight loop around a
+// strongly biased (90% taken) conditional, so several in-flight
+// instances predict from the same weak counter state.
+func weakLoop(seed uint64) trace.Source {
+	b := workload.NewBuilder(0x10000, seed)
+	headL := b.NewLabel()
+	head := b.Block(4)
+	b.Bind(headL, head)
+	blk := b.Block(4)
+	blk.CondBias(0.9, headL)
+	tail := b.Block(2)
+	tail.Jump(headL)
+	return workload.NewExec(b.MustBuild(head), seed+1)
+}
+
+// E11Ablation removes one z15 feature at a time (§IV-§VI design
+// choices) and reports the damage on a mixed workload.
+func E11Ablation(o Options) {
+	e, _ := ByID("ablation")
+	header(o.W, e)
+	type variant struct {
+		name string
+		mod  func(*sim.Config)
+	}
+	variants := []variant{
+		{"z15 full", func(*sim.Config) {}},
+		{"- perceptron", func(c *sim.Config) { c.Core.Dir.PerceptronEnabled = false }},
+		{"- TAGE long table (single PHT)", func(c *sim.Config) { c.Core.Dir.TwoTables = false; c.Core.Dir.ShortHist = 17 }},
+		{"- PHT entirely", func(c *sim.Config) { c.Core.Dir.PHTEnabled = false }},
+		{"- CRS", func(c *sim.Config) { c.Core.Tgt.CRSEnabled = false }},
+		{"- CTB", func(c *sim.Config) { c.Core.Tgt.CTBEntries = 0 }},
+		{"- CPRED", func(c *sim.Config) { c.Core.CPred.Entries = 0 }},
+		{"- SKOOT", func(c *sim.Config) { c.Core.SkootEnabled = false }},
+		{"+ way-banked PHT (physical)", func(c *sim.Config) { c.Core.Dir.WayBanked = true }},
+		{"- GPV17 (GPV9)", func(c *sim.Config) {
+			c.Core.GPVDepth = 9
+			c.Core.Dir.LongHist = 9
+			c.Core.Tgt.CTBHist = 9
+		}},
+	}
+	tab := metrics.NewTable("variant", "MPKI", "delta vs full", "IPC")
+	var base float64
+	for i, v := range variants {
+		cfg := sim.Z15()
+		v.mod(&cfg)
+		res := runOn(cfg, "mixed", o.Seed, o.scale())
+		m := res.MPKI()
+		if i == 0 {
+			base = m
+			tab.Row(v.name, fmt.Sprintf("%.2f", m), "--", fmt.Sprintf("%.2f", res.IPC()))
+			continue
+		}
+		tab.Row(v.name, fmt.Sprintf("%.2f", m), metrics.Delta(base, m), fmt.Sprintf("%.2f", res.IPC()))
+	}
+	tab.Render(o.W)
+	fmt.Fprintln(o.W, "\nexpected shape: every removal costs MPKI or IPC; the PHT is the largest single direction contributor.")
+}
+
+// E12Power reports how often CPRED's power predictor kept auxiliary
+// structures gated off (§IV/§VI).
+func E12Power(o Options) {
+	e, _ := ByID("power")
+	header(o.W, e)
+	tab := metrics.NewTable("workload", "searches", "PHT gated", "perceptron gated", "CTB gated", "CPRED hit rate")
+	for _, name := range []string{"loops", "patterned", "lspr", "micro"} {
+		res := runOn(sim.Z15(), name, o.Seed, o.scale())
+		s := res.Core.Searches
+		tab.Row(name, s,
+			metrics.Pct(res.Core.PowerGatedPHT, s),
+			metrics.Pct(res.Core.PowerGatedPerc, s),
+			metrics.Pct(res.Core.PowerGatedCTB, s),
+			metrics.Pct(res.CPred.Hits, res.CPred.Lookups))
+	}
+	tab.Render(o.W)
+	fmt.Fprintln(o.W, "\nexpected shape: simple workloads keep auxiliary structures gated most of the time; accuracy is unaffected because gating follows the bidirectional/multi-target bits.")
+}

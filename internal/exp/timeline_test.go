@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"zbp/internal/core"
+)
+
+func TestTimelineShowsRedirectSpacing(t *testing.T) {
+	var buf bytes.Buffer
+	noCp := core.Z15()
+	noCp.CPred.Entries = 0
+	RenderPipelineTimeline(&buf, noCp, 3)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 searches
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), buf.String())
+	}
+	// Search #1's b0 must be 5 columns after search #0's (figure 4).
+	b0col := func(line string) int {
+		return strings.Index(line, "b0")
+	}
+	d := b0col(lines[2]) - b0col(lines[1])
+	if d != 5*3 { // 3 chars per cycle column
+		t.Errorf("redirect spacing = %d chars, want %d (5 cycles)", d, 5*3)
+	}
+
+	var cp bytes.Buffer
+	RenderPipelineTimeline(&cp, core.Z15(), 3)
+	cpLines := strings.Split(strings.TrimSpace(cp.String()), "\n")
+	d2 := b0col(cpLines[2]) - b0col(cpLines[1])
+	if d2 != 2*3 {
+		t.Errorf("CPRED redirect spacing = %d chars, want %d (2 cycles)", d2, 2*3)
+	}
+	// Every search shows all six stages.
+	for _, ln := range cpLines[1:] {
+		for s := 0; s < 6; s++ {
+			if !strings.Contains(ln, "b"+string(rune('0'+s))) {
+				t.Errorf("stage b%d missing from %q", s, ln)
+			}
+		}
+	}
+}

@@ -1,0 +1,389 @@
+// Package frontend models the consumers of the asynchronous branch
+// predictor: the ICM instruction fetcher and the IDU decode/dispatch
+// stage (paper §I, §IV). It walks an architectural instruction trace,
+// enforces the strict dispatch synchronization with BPL progress
+// introduced on z13, applies dynamic predictions to branches, handles
+// surprise branches with static guesses, detects bad (partial-tag)
+// predictions, charges the restart penalties of §II, and drives
+// completion-time updates back into the predictor.
+package frontend
+
+import (
+	"zbp/internal/core"
+	"zbp/internal/icache"
+	"zbp/internal/trace"
+	"zbp/internal/zarch"
+)
+
+// Config holds the consumption-side parameters.
+type Config struct {
+	// DispatchWidth is the maximum instructions dispatched per cycle
+	// (up to 6 on z15, §I).
+	DispatchWidth int
+	// FetchBytes is the instruction fetch bandwidth per cycle (32B,
+	// §IV).
+	FetchBytes int
+	// RestartPenalty is the branch-wrong flush cost ("up to 26 cycles",
+	// §I).
+	RestartPenalty int64
+	// QueueRefillPenalty is the additional issue-queue recovery
+	// inefficiency after a full restart ("up to 10 cycles", §II.B);
+	// together they model the ~35-cycle statistical penalty (§II.D).
+	QueueRefillPenalty int64
+	// SurpriseTakenRelPenalty is the front-end redirect bubble for a
+	// statically guessed-taken relative branch (target computed in the
+	// front end, §IV).
+	SurpriseTakenRelPenalty int64
+	// SurpriseTakenIndPenalty is the stall for a guessed-taken indirect
+	// branch: the front end waits for the execution units to compute
+	// the target (§IV: "the front end shuts down").
+	SurpriseTakenIndPenalty int64
+	// BadPredPenalty is the restart cost when the IDU detects a
+	// prediction on a non-branch / mid-instruction (§IV).
+	BadPredPenalty int64
+	// PrefetchEnabled wires BPL searches into the I-cache as
+	// prefetches.
+	PrefetchEnabled bool
+}
+
+// DefaultConfig returns the modeled z15 front-end parameters.
+func DefaultConfig() Config {
+	return Config{
+		DispatchWidth: 6, FetchBytes: 32,
+		RestartPenalty: 26, QueueRefillPenalty: 8,
+		SurpriseTakenRelPenalty: 6, SurpriseTakenIndPenalty: 30,
+		BadPredPenalty:  26,
+		PrefetchEnabled: true,
+	}
+}
+
+// Stats counts front-end events for one thread.
+type Stats struct {
+	Instructions int64
+	Branches     int64
+	Cycles       int64 // cycles this thread was live
+
+	DynamicPredicted int64
+	DynCorrect       int64
+	DynWrongDir      int64
+	DynWrongTarget   int64
+
+	Surprises        int64
+	SurpriseWrong    int64 // static guess direction wrong
+	SurpriseTakenRel int64
+	SurpriseTakenInd int64
+	BadPredictions   int64
+
+	// TgtProvided/TgtWrong count taken dynamic predictions by target
+	// provider (0 BTB, 1 CTB, 2 CRS) and how many resolved wrong.
+	TgtProvided [3]int64
+	TgtWrong    [3]int64
+
+	DispatchSyncStall int64 // cycles stalled waiting for BPL coverage
+	FetchStall        int64 // cycles stalled on I-cache
+	RestartStall      int64 // cycles lost to restarts/penalties
+	Done              bool
+}
+
+// Mispredicts returns the total mispredicted branches (the MPKI
+// numerator): dynamic wrong direction or target, plus wrong static
+// guesses on surprise branches.
+func (s Stats) Mispredicts() int64 {
+	return s.DynWrongDir + s.DynWrongTarget + s.SurpriseWrong
+}
+
+// MPKI returns mispredicted branches per thousand instructions.
+func (s Stats) MPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts()) / float64(s.Instructions) * 1000
+}
+
+// Thread is one hardware thread's front end.
+type Thread struct {
+	cfg  Config
+	id   int
+	c    *core.Core
+	ic   *icache.Hierarchy
+	src  trace.Source
+	peek *trace.Rec
+
+	epoch  uint64
+	stream uint64
+
+	stallUntil int64
+	fetchReady int64
+	curLine    zarch.Addr
+	haveLine   bool
+
+	streamEntry    zarch.Addr
+	hasStreamEntry bool
+
+	lastCtx      uint16
+	lastCtxValid bool
+
+	started bool
+	done    bool
+	stats   Stats
+}
+
+// NewThread builds a front end for thread id consuming src. ic may be
+// nil to disable I-cache modeling.
+func NewThread(cfg Config, id int, c *core.Core, ic *icache.Hierarchy, src trace.Source) *Thread {
+	return &Thread{cfg: cfg, id: id, c: c, ic: ic, src: src}
+}
+
+// Stats returns a copy of this thread's counters.
+func (f *Thread) Stats() Stats {
+	s := f.stats
+	s.Done = f.done
+	return s
+}
+
+// Done reports whether the trace is exhausted.
+func (f *Thread) Done() bool { return f.done }
+
+func (f *Thread) next() (trace.Rec, bool) {
+	if f.peek != nil {
+		r := *f.peek
+		return r, true
+	}
+	r, ok := f.src.Next()
+	if !ok {
+		return trace.Rec{}, false
+	}
+	f.peek = &r
+	return r, true
+}
+
+func (f *Thread) consume() { f.peek = nil }
+
+// restart flushes the pipeline: penalty cycles, BPL restart at addr,
+// stream bookkeeping reset.
+func (f *Thread) restart(now int64, addr zarch.Addr, ctx uint16, penalty int64) {
+	f.stallUntil = now + penalty
+	f.stats.RestartStall += penalty
+	f.c.Restart(f.id, addr, ctx)
+	f.epoch++
+	f.stream = 0
+	f.hasStreamEntry = false
+}
+
+// Step advances this thread by one cycle, dispatching up to
+// DispatchWidth instructions within FetchBytes of fetch bandwidth.
+func (f *Thread) Step(now int64) {
+	if f.done {
+		return
+	}
+	f.stats.Cycles++
+	if !f.started {
+		r, ok := f.next()
+		if !ok {
+			f.done = true
+			f.c.Deactivate(f.id)
+			return
+		}
+		f.started = true
+		f.restart(now, r.Addr, r.CtxID, 0)
+		return
+	}
+	if now < f.stallUntil || now < f.fetchReady {
+		if now < f.fetchReady {
+			f.stats.FetchStall++
+		}
+		return
+	}
+
+	bytes := 0
+	for n := 0; n < f.cfg.DispatchWidth; n++ {
+		r, ok := f.next()
+		if !ok {
+			f.done = true
+			f.c.Deactivate(f.id)
+			return
+		}
+		if bytes+int(r.Len) > f.cfg.FetchBytes {
+			break
+		}
+
+		// Context switch: full resynchronization.
+		if f.ctxSwitch(now, r) {
+			return
+		}
+
+		// Instruction fetch: demand-access the line.
+		if f.ic != nil {
+			line := f.ic.Line(r.Addr)
+			if !f.haveLine || line != f.curLine {
+				ready := f.ic.Access(r.Addr, now)
+				f.curLine, f.haveLine = line, true
+				if ready > now {
+					f.fetchReady = ready
+					return
+				}
+			}
+		}
+
+		// Strict dispatch synchronization (§IV): hold the instruction
+		// until the BPL's visible output covers it.
+		if !f.c.Covered(f.id, f.epoch, f.stream, r.Addr) {
+			f.stats.DispatchSyncStall++
+			return
+		}
+
+		// Drain bad predictions pointing at bytes we are about to pass.
+		if f.handleBadPredictions(now, r) {
+			return
+		}
+
+		if p, ok := f.c.PeekPred(f.id); ok && p.Epoch == f.epochOfCore() &&
+			p.Stream == f.stream && p.Addr == r.Addr && r.IsBranch() {
+			f.c.PopPred(f.id)
+			if f.applyDynamic(now, r, p) {
+				return
+			}
+		} else if r.IsBranch() {
+			if f.applySurprise(now, r) {
+				return
+			}
+		} else {
+			f.dispatch(r)
+		}
+		bytes += int(r.Len)
+	}
+}
+
+// epochOfCore returns the core-side epoch for matching predictions;
+// core epochs advance once per Restart call, in lockstep with ours.
+func (f *Thread) epochOfCore() uint64 {
+	_, _, e := f.c.SearchProgress(f.id)
+	return e
+}
+
+// ctxSwitch restarts on address-space changes (which the multiplexed
+// workloads produce); returns true if a restart was issued.
+func (f *Thread) ctxSwitch(now int64, r trace.Rec) bool {
+	// The previous record's context is implicit in core state; compare
+	// via prediction stream instead: the core tracks ctx per restart.
+	// A cheap check: remember last seen ctx.
+	if f.lastCtxValid && r.CtxID != f.lastCtx {
+		f.lastCtx = r.CtxID
+		f.restart(now, r.Addr, r.CtxID, f.cfg.RestartPenalty+f.cfg.QueueRefillPenalty)
+		return true
+	}
+	f.lastCtx = r.CtxID
+	f.lastCtxValid = true
+	return false
+}
+
+// dispatch retires a non-branch instruction.
+func (f *Thread) dispatch(r trace.Rec) {
+	f.stats.Instructions++
+	f.consume()
+}
+
+// handleBadPredictions pops predictions that point at already-passed or
+// non-branch bytes; the IDU detects them, removes the BTB entry and
+// restarts the front end (§IV). Returns true if a restart was issued.
+func (f *Thread) handleBadPredictions(now int64, r trace.Rec) bool {
+	for {
+		p, ok := f.c.PeekPred(f.id)
+		if !ok || p.Epoch != f.epochOfCore() {
+			return false
+		}
+		stale := p.Stream < f.stream ||
+			(p.Stream == f.stream && p.Addr < r.Addr) ||
+			(p.Stream == f.stream && p.Addr == r.Addr && !r.IsBranch())
+		if !stale {
+			return false
+		}
+		f.c.PopPred(f.id)
+		f.c.BadPrediction(p)
+		f.stats.BadPredictions++
+		f.restart(now, r.Addr, r.CtxID, f.cfg.BadPredPenalty)
+		return true
+	}
+}
+
+// applyDynamic applies a dynamic prediction to branch r. Returns true
+// if a restart was issued (caller must stop dispatching this cycle).
+func (f *Thread) applyDynamic(now int64, r trace.Rec, p core.Prediction) bool {
+	f.stats.Instructions++
+	f.stats.Branches++
+	f.stats.DynamicPredicted++
+	f.consume()
+
+	out := core.Outcome{Pred: p, Taken: r.Taken, Target: r.Target}
+	f.c.Complete(out)
+
+	if p.Taken && r.Taken {
+		prov := int(p.Tgt.Provider)
+		if prov >= 0 && prov < len(f.stats.TgtProvided) {
+			f.stats.TgtProvided[prov]++
+			if out.WrongTarget() {
+				f.stats.TgtWrong[prov]++
+			}
+		}
+	}
+
+	switch {
+	case out.WrongDirection():
+		f.stats.DynWrongDir++
+		f.restart(now, r.Next(), r.CtxID, f.cfg.RestartPenalty+f.cfg.QueueRefillPenalty)
+		return true
+	case out.WrongTarget():
+		f.stats.DynWrongTarget++
+		f.restart(now, r.Target, r.CtxID, f.cfg.RestartPenalty+f.cfg.QueueRefillPenalty)
+		return true
+	default:
+		f.stats.DynCorrect++
+		if r.Taken {
+			// Follow the predictor into the next stream.
+			f.stream = p.Stream + 1
+			f.streamEntry = p.Addr
+			f.hasStreamEntry = true
+		}
+		return false
+	}
+}
+
+// applySurprise handles a branch with no dynamic prediction: static
+// guess by opcode, penalties per §IV, completion install, and BPL
+// restart when flow redirects. Returns true if dispatching must stop.
+func (f *Thread) applySurprise(now int64, r trace.Rec) bool {
+	f.stats.Instructions++
+	f.stats.Branches++
+	f.stats.Surprises++
+	f.consume()
+
+	f.c.CompleteSurprise(core.Surprise{
+		Thread: f.id, Addr: r.Addr, Len: r.Len, Kind: r.Kind,
+		Taken: r.Taken, Target: r.Target, Ctx: r.CtxID,
+		StreamEntry: f.streamEntry, HasStreamEntry: f.hasStreamEntry,
+	})
+
+	guess := r.Kind.StaticGuessTaken()
+	switch {
+	case guess != r.Taken:
+		// Wrong static guess: full branch-wrong restart.
+		f.stats.SurpriseWrong++
+		f.restart(now, r.Next(), r.CtxID, f.cfg.RestartPenalty+f.cfg.QueueRefillPenalty)
+		return true
+	case r.Taken && r.Kind.Indirect():
+		// Correctly guessed taken, but the target comes from the
+		// execution units: the front end shuts down and waits (§IV).
+		f.stats.SurpriseTakenInd++
+		f.restart(now, r.Target, r.CtxID, f.cfg.SurpriseTakenIndPenalty)
+		return true
+	case r.Taken:
+		// Correctly guessed taken relative: front end computes the
+		// target itself; short redirect bubble.
+		f.stats.SurpriseTakenRel++
+		f.restart(now, r.Target, r.CtxID, f.cfg.SurpriseTakenRelPenalty)
+		return true
+	default:
+		// Correctly guessed not-taken: flow continues, no restart.
+		return false
+	}
+}

@@ -1,0 +1,115 @@
+// Package hashx provides the small deterministic hash and PRNG
+// primitives shared by the predictor structures (index/tag folding) and
+// by the workload generators (reproducible randomness).
+//
+// Hardware index and tag functions are XOR folds of address bits; we
+// mirror that so aliasing behaviour (partial tags, §IV of the paper) is
+// representable rather than hidden behind a cryptographic hash.
+package hashx
+
+import "math"
+
+// Fold reduces v to n bits by repeatedly XOR-folding the high half onto
+// the low half. n must be in [1, 63].
+func Fold(v uint64, n uint) uint64 {
+	if n == 0 || n > 63 {
+		panic("hashx: Fold width out of range")
+	}
+	mask := uint64(1)<<n - 1
+	r := uint64(0)
+	for v != 0 {
+		r ^= v & mask
+		v >>= n
+	}
+	return r
+}
+
+// Mix is a splitmix64-style finalizer: a cheap bijective scrambler used
+// where a raw fold would leave too much structure (e.g. perceptron row
+// selection in tests). It is deterministic and allocation-free.
+func Mix(v uint64) uint64 {
+	v += 0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}
+
+// Rand is a splitmix64 pseudo-random generator. The zero value is a
+// valid generator seeded with 0; use New for an explicit seed. It is
+// intentionally tiny and dependency-free so every workload and
+// constrained-random test is reproducible bit-for-bit.
+type Rand struct {
+	state uint64
+}
+
+// New returns a Rand seeded with seed.
+func New(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next pseudo-random value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	v := r.state
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("hashx: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Zipf draws from a Zipf-like distribution over [0, n) with exponent s,
+// using precomputed cumulative weights held in z. See NewZipf.
+type Zipf struct {
+	cum []float64
+	r   *Rand
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s (s > 0;
+// larger s concentrates mass on low indices). Commercial-workload
+// basic-block popularity is famously skewed, which is what gives the
+// big BTB structures their value (paper §II.A); the generators use this
+// to create realistic warm/cold code mixes.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("hashx: NewZipf with non-positive n")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1.0 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum, r: r}
+}
+
+// Next draws one index.
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	// Binary search for the first cumulative weight >= u.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

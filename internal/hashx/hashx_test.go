@@ -1,0 +1,161 @@
+package hashx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFoldWidth(t *testing.T) {
+	f := func(v uint64) bool {
+		for _, n := range []uint{1, 5, 11, 17, 32, 63} {
+			if Fold(v, n)>>n != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldDeterministic(t *testing.T) {
+	if Fold(0xdeadbeefcafe, 13) != Fold(0xdeadbeefcafe, 13) {
+		t.Fatal("Fold not deterministic")
+	}
+	if Fold(0, 16) != 0 {
+		t.Errorf("Fold(0,16) = %d, want 0", Fold(0, 16))
+	}
+}
+
+func TestFoldPanics(t *testing.T) {
+	for _, n := range []uint{0, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Fold(_, %d) did not panic", n)
+				}
+			}()
+			Fold(1, n)
+		}()
+	}
+}
+
+func TestFoldDistinguishes(t *testing.T) {
+	// Fold must at least separate nearby cache lines for small widths:
+	// the BTB row index depends on it.
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 2048; i++ {
+		seen[Fold(i<<6, 11)] = true
+	}
+	if len(seen) < 1024 {
+		t.Errorf("Fold over 2048 sequential lines produced only %d distinct 11-bit values", len(seen))
+	}
+}
+
+func TestMixBijectiveish(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix(i)
+		if seen[h] {
+			t.Fatalf("Mix collision at %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed Rand diverged")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds matched %d/1000 draws", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", got)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(123)
+	z := NewZipf(r, 1000, 1.0)
+	counts := make([]int, 1000)
+	n := 200000
+	for i := 0; i < n; i++ {
+		idx := z.Next()
+		if idx < 0 || idx >= 1000 {
+			t.Fatalf("Zipf out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	// Item 0 should be far more popular than item 500, and the top 10
+	// items should carry a large share.
+	if counts[0] < 20*counts[500] && counts[500] > 0 {
+		t.Errorf("zipf not skewed: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+	top := 0
+	for i := 0; i < 10; i++ {
+		top += counts[i]
+	}
+	if float64(top)/float64(n) < 0.3 {
+		t.Errorf("top-10 share = %v, want >= 0.3", float64(top)/float64(n))
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZipf(r, 0, 1) did not panic")
+		}
+	}()
+	NewZipf(New(1), 0, 1)
+}

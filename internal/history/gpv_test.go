@@ -1,0 +1,183 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zbp/internal/zarch"
+)
+
+func TestNewDepths(t *testing.T) {
+	g := New(DepthZ15)
+	if g.Depth() != 17 || g.Width() != 34 {
+		t.Errorf("z15 GPV depth/width = %d/%d", g.Depth(), g.Width())
+	}
+	g9 := New(DepthZ13)
+	if g9.Width() != 18 {
+		t.Errorf("z13 GPV width = %d", g9.Width())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, d := range []int{0, -1, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", d)
+				}
+			}()
+			New(d)
+		}()
+	}
+}
+
+func TestPushShiftsOutOldest(t *testing.T) {
+	g := New(3)
+	addrs := []zarch.Addr{0x1000, 0x2002, 0x3004, 0x4006}
+	for _, a := range addrs {
+		g = g.Push(a)
+	}
+	// After 4 pushes into a depth-3 history, only the last 3 remain.
+	want := (BranchGPV(0x2002)<<4 | BranchGPV(0x3004)<<2 | BranchGPV(0x4006)) & 0x3f
+	if g.Bits() != want {
+		t.Errorf("bits = %#x, want %#x", g.Bits(), want)
+	}
+}
+
+func TestPushValueSemantics(t *testing.T) {
+	g := New(5)
+	g2 := g.Push(0x1000)
+	if g.Bits() != 0 {
+		t.Error("Push mutated the receiver")
+	}
+	if g2.Bits() == 0 && BranchGPV(0x1000) != 0 {
+		t.Error("Push result lost the update")
+	}
+}
+
+func TestBitsStayInWidth(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		g := New(DepthZ15)
+		for _, a := range addrs {
+			g = g.Push(zarch.Addr(a &^ 1))
+		}
+		return g.Bits()>>uint(g.Width()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecentSubset(t *testing.T) {
+	g := New(DepthZ15)
+	for i := 0; i < 40; i++ {
+		g = g.Push(zarch.Addr(0x1000 + i*6))
+	}
+	r9 := g.Recent(9)
+	if r9 != g.Bits()&(1<<18-1) {
+		t.Errorf("Recent(9) = %#x", r9)
+	}
+	if g.Recent(17) != g.Bits() {
+		t.Error("Recent(depth) != Bits()")
+	}
+	if g.Recent(0) != 0 {
+		t.Error("Recent(0) != 0")
+	}
+}
+
+func TestRecentPanics(t *testing.T) {
+	g := New(9)
+	defer func() {
+		if recover() == nil {
+			t.Error("Recent(10) on depth-9 GPV did not panic")
+		}
+	}()
+	g.Recent(10)
+}
+
+func TestBit(t *testing.T) {
+	g := New(4)
+	g = g.Push(0x2) // BranchGPV(0x2) = Fold(1,2) = 1
+	if BranchGPV(0x2) != 1 {
+		t.Skip("hash changed; test assumption invalid")
+	}
+	if !g.Bit(0) || g.Bit(1) {
+		t.Errorf("bits after push = %#x", g.Bits())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Bit(999) did not panic")
+		}
+	}()
+	g.Bit(999)
+}
+
+func TestPathSensitivity(t *testing.T) {
+	// Different taken-branch paths must (usually) give different GPVs:
+	// that is the entire point of path history.
+	a := New(DepthZ15)
+	b := New(DepthZ15)
+	for i := 0; i < 17; i++ {
+		a = a.Push(zarch.Addr(0x1000 + i*4))
+		b = b.Push(zarch.Addr(0x9000 + i*4))
+	}
+	if a.Bits() == b.Bits() {
+		t.Error("distinct paths hashed to identical GPVs")
+	}
+}
+
+func TestFoldIndexWidthAndSpread(t *testing.T) {
+	g := New(DepthZ15)
+	seen := map[uint64]bool{}
+	for i := 0; i < 512; i++ {
+		g = g.Push(zarch.Addr(0x1000 + i*6))
+		idx := g.FoldIndex(0x4000, 9, 9)
+		if idx >= 512 {
+			t.Fatalf("FoldIndex out of width: %d", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) < 64 {
+		t.Errorf("FoldIndex spread: only %d distinct of 512", len(seen))
+	}
+}
+
+func TestFoldTagDiffersFromIndex(t *testing.T) {
+	g := New(DepthZ15)
+	for i := 0; i < 17; i++ {
+		g = g.Push(zarch.Addr(0x1000 + i*4))
+	}
+	same := 0
+	for i := 0; i < 256; i++ {
+		a := zarch.Addr(0x8000 + i*64)
+		if g.FoldIndex(a, 9, 8) == g.FoldTag(a, 9, 8) {
+			same++
+		}
+	}
+	if same > 40 { // would be ~1/256 each if independent; allow slack
+		t.Errorf("index and tag functions coincide on %d/256 addresses", same)
+	}
+}
+
+func TestShortLongDiverge(t *testing.T) {
+	// Two paths identical in the last 9 branches but different before
+	// must produce the same short index and (usually) different long
+	// index -- the mechanism that lets the long TAGE table disambiguate.
+	a, b := New(DepthZ15), New(DepthZ15)
+	for i := 0; i < 8; i++ {
+		a = a.Push(zarch.Addr(0x1000 + i*4))
+		b = b.Push(zarch.Addr(0x7000 + i*4))
+	}
+	for i := 0; i < 9; i++ {
+		shared := zarch.Addr(0x3000 + i*4)
+		a = a.Push(shared)
+		b = b.Push(shared)
+	}
+	pc := zarch.Addr(0x5000)
+	if a.FoldIndex(pc, 9, 9) != b.FoldIndex(pc, 9, 9) {
+		t.Error("short index differs despite identical recent history")
+	}
+	if a.FoldIndex(pc, 17, 9) == b.FoldIndex(pc, 17, 9) {
+		t.Error("long index identical despite different old history")
+	}
+}

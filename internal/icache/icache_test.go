@@ -1,0 +1,108 @@
+package icache
+
+import (
+	"testing"
+
+	"zbp/internal/zarch"
+)
+
+func TestConfigsBuild(t *testing.T) {
+	for _, cfg := range []Config{Z15(), Z14(), Z13(), ZEC12()} {
+		h := New(cfg)
+		if h == nil {
+			t.Fatal("nil hierarchy")
+		}
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	h := New(Z15())
+	now := int64(100)
+	ready := h.Access(0x10000, now)
+	if ready != now+45 {
+		t.Errorf("cold miss ready = %d, want %d", ready, now+45)
+	}
+	if got := h.Access(0x10000, ready); got != ready {
+		t.Errorf("hit not free: %d vs %d", got, ready)
+	}
+	st := h.Stats()
+	if st.L1Hits != 1 || st.Accesses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSameLineSharesFill(t *testing.T) {
+	h := New(Z15())
+	h.Access(0x10000, 0)
+	if got := h.Access(0x10080, 50); got != 50 {
+		t.Errorf("same 256B line missed: %d", got)
+	}
+}
+
+func TestL2Latency(t *testing.T) {
+	h := New(Z15())
+	h.Access(0x10000, 0) // fills L1 and L2
+	// Evict from L1 by filling its set: L1 128KB/256B/8way = 64 rows, so
+	// lines 64*256=16KB apart share a row.
+	stride := zarch.Addr(64 * 256)
+	for i := 1; i <= 8; i++ {
+		h.Access(0x10000+zarch.Addr(i)*stride, int64(i*100))
+	}
+	// 0x10000 now out of L1 but still in L2.
+	ready := h.Access(0x10000, 10000)
+	if ready != 10000+8 {
+		t.Errorf("L2 hit ready = %d, want %d", ready, 10000+8)
+	}
+}
+
+func TestPrefetchHidesLatency(t *testing.T) {
+	h := New(Z15())
+	h.Prefetch(0x20000, 0) // ready at 45
+	// Demand at cycle 40: waits only 5 cycles.
+	if ready := h.Access(0x20000, 40); ready != 45 {
+		t.Errorf("partial hide: ready = %d, want 45", ready)
+	}
+	h2 := New(Z15())
+	h2.Prefetch(0x20000, 0)
+	// Demand after completion: free.
+	if ready := h2.Access(0x20000, 100); ready != 100 {
+		t.Errorf("full hide: ready = %d, want 100", ready)
+	}
+	if h2.Stats().PrefetchUseful != 1 {
+		t.Errorf("PrefetchUseful = %d", h2.Stats().PrefetchUseful)
+	}
+}
+
+func TestPrefetchIdempotent(t *testing.T) {
+	h := New(Z15())
+	h.Prefetch(0x20000, 0)
+	h.Prefetch(0x20010, 1) // same line
+	if h.Stats().Prefetches != 1 {
+		t.Errorf("Prefetches = %d", h.Stats().Prefetches)
+	}
+	h.Access(0x20000, 100)
+	h.Prefetch(0x20000, 101) // already present
+	if h.Stats().Prefetches != 1 {
+		t.Errorf("present-line prefetch counted: %d", h.Stats().Prefetches)
+	}
+}
+
+func TestDemandWaitAccounting(t *testing.T) {
+	h := New(Z15())
+	h.Access(0x30000, 0)
+	st := h.Stats()
+	if st.DemandWaitCycles != 45 {
+		t.Errorf("DemandWaitCycles = %d", st.DemandWaitCycles)
+	}
+}
+
+func TestTickBoundsInflight(t *testing.T) {
+	h := New(Z15())
+	for i := 0; i < 2000; i++ {
+		h.Prefetch(zarch.Addr(0x100000+i*256), 0)
+	}
+	h.Tick(10000)
+	if len(h.inflight) != 0 {
+		t.Errorf("inflight = %d after Tick", len(h.inflight))
+	}
+}

@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.Row("alpha", 1)
+	tab.Row("b", 2.5)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "2.500") {
+		t.Errorf("float formatting: %q", lines[3])
+	}
+	// Columns aligned: "value" column starts at same offset in all rows.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1") {
+		t.Errorf("misaligned column:\n%s", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(1, 4) != "25.0%" {
+		t.Errorf("Pct = %s", Pct(1, 4))
+	}
+	if Pct(1, 0) != "n/a" {
+		t.Error("Pct with zero denominator")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(3, 4) != 0.75 || Ratio(1, 0) != 0 {
+		t.Error("Ratio wrong")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	if Delta(10, 7.5) != "-25.0%" {
+		t.Errorf("Delta = %s", Delta(10, 7.5))
+	}
+	if Delta(0, 5) != "n/a" {
+		t.Error("Delta with zero base")
+	}
+}

@@ -1,0 +1,227 @@
+// Package sim drives whole-predictor simulations: it wires the
+// lookahead predictor core, the front-end consumption model and the
+// I-cache hierarchy together, runs instruction traces through them in
+// single-thread or SMT2 mode, and collects the metrics the paper's
+// experiments report (MPKI, provider shares, restart stalls, prefetch
+// effect, pipeline periods).
+package sim
+
+import (
+	"fmt"
+
+	"zbp/internal/btb"
+	"zbp/internal/core"
+	"zbp/internal/cpred"
+	"zbp/internal/dirpred"
+	"zbp/internal/frontend"
+	"zbp/internal/icache"
+	"zbp/internal/tgt"
+	"zbp/internal/trace"
+	"zbp/internal/zarch"
+)
+
+// Config assembles one simulation setup.
+type Config struct {
+	Core  core.Config
+	Front frontend.Config
+	// ICache enables the instruction-cache model; nil disables it (all
+	// fetches hit).
+	ICache *icache.Config
+	// Prefetch wires BPL searches into the I-cache (the §IV lookahead
+	// prefetch). Ignored without an I-cache.
+	Prefetch bool
+}
+
+// Z15 returns a full z15 simulation config.
+func Z15() Config {
+	ic := icache.Z15()
+	return Config{Core: core.Z15(), Front: frontend.DefaultConfig(), ICache: &ic, Prefetch: true}
+}
+
+// ForGeneration returns a full simulation config for a generational
+// core preset, pairing it with the matching cache hierarchy.
+func ForGeneration(c core.Config) Config {
+	var ic icache.Config
+	switch c.Name {
+	case "z15":
+		ic = icache.Z15()
+	case "z14":
+		ic = icache.Z14()
+	case "z13":
+		ic = icache.Z13()
+	default:
+		ic = icache.ZEC12()
+	}
+	return Config{Core: c, Front: frontend.DefaultConfig(), ICache: &ic, Prefetch: true}
+}
+
+// Result aggregates everything a run produced.
+type Result struct {
+	Name    string
+	Cycles  int64
+	Threads []frontend.Stats
+	Core    core.Stats
+	BTB1    btb.Stats
+	BTB2    btb.Stats
+	Dir     dirpred.Stats
+	Tgt     tgt.Stats
+	CPred   cpred.Stats
+	IC      icache.Stats
+}
+
+// Instructions returns total retired instructions across threads.
+func (r Result) Instructions() int64 {
+	var n int64
+	for _, t := range r.Threads {
+		n += t.Instructions
+	}
+	return n
+}
+
+// Branches returns total retired branches.
+func (r Result) Branches() int64 {
+	var n int64
+	for _, t := range r.Threads {
+		n += t.Branches
+	}
+	return n
+}
+
+// Mispredicts returns total mispredicted branches.
+func (r Result) Mispredicts() int64 {
+	var n int64
+	for _, t := range r.Threads {
+		n += t.Mispredicts()
+	}
+	return n
+}
+
+// MPKI returns mispredicts per thousand instructions across threads.
+func (r Result) MPKI() float64 {
+	if r.Instructions() == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts()) / float64(r.Instructions()) * 1000
+}
+
+// IPC returns aggregate instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions()) / float64(r.Cycles)
+}
+
+// Accuracy returns the fraction of branches predicted correctly
+// (dynamic and static).
+func (r Result) Accuracy() float64 {
+	b := r.Branches()
+	if b == 0 {
+		return 0
+	}
+	return 1 - float64(r.Mispredicts())/float64(b)
+}
+
+// Sim is one wired-up simulation.
+type Sim struct {
+	cfg     Config
+	core    *core.Core
+	ic      *icache.Hierarchy
+	threads []*frontend.Thread
+}
+
+// New builds a simulation over one source per thread (1 = single
+// thread, 2 = SMT2). Bound the sources with trace.Limit to control run
+// length.
+func New(cfg Config, srcs []trace.Source) *Sim {
+	if len(srcs) < 1 || len(srcs) > core.MaxThreads {
+		panic(fmt.Sprintf("sim: need 1..%d sources, got %d", core.MaxThreads, len(srcs)))
+	}
+	s := &Sim{cfg: cfg, core: core.New(cfg.Core)}
+	if cfg.ICache != nil {
+		s.ic = icache.New(*cfg.ICache)
+		if cfg.Prefetch {
+			ic := s.ic
+			c := s.core
+			c.SetSearchHook(func(t int, line zarch.Addr) {
+				ic.Prefetch(line, c.Clock())
+			})
+		}
+	}
+	for i, src := range srcs {
+		s.threads = append(s.threads, frontend.NewThread(cfg.Front, i, s.core, s.ic, src))
+	}
+	return s
+}
+
+// Core exposes the predictor for white-box verification.
+func (s *Sim) Core() *core.Core { return s.core }
+
+// Run executes until every thread's trace is exhausted or maxCycles
+// elapses (0 = no bound). It panics on live-lock (no instruction
+// retires for a long window), which would indicate a model bug.
+func (s *Sim) Run(maxCycles int64) Result {
+	var lastInstr int64
+	var lastProgress int64
+	for {
+		done := true
+		for _, t := range s.threads {
+			if !t.Done() {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if maxCycles > 0 && s.core.Clock() >= maxCycles {
+			break
+		}
+		s.core.Cycle()
+		now := s.core.Clock()
+		for _, t := range s.threads {
+			t.Step(now)
+		}
+		if s.ic != nil {
+			s.ic.Tick(now)
+		}
+		var instr int64
+		for _, t := range s.threads {
+			instr += t.Stats().Instructions
+		}
+		if instr > lastInstr {
+			lastInstr = instr
+			lastProgress = now
+		} else if now-lastProgress > 200000 {
+			panic(fmt.Sprintf("sim: no progress for %d cycles at clock %d (%d instructions)",
+				now-lastProgress, now, instr))
+		}
+	}
+	return s.result()
+}
+
+func (s *Sim) result() Result {
+	res := Result{
+		Name:   s.cfg.Core.Name,
+		Cycles: s.core.Clock(),
+		Core:   s.core.Stats(),
+		BTB1:   s.core.BTB1Stats(),
+		BTB2:   s.core.BTB2Stats(),
+		Dir:    s.core.DirStats(),
+		Tgt:    s.core.TgtStats(),
+		CPred:  s.core.CPredStats(),
+	}
+	for _, t := range s.threads {
+		res.Threads = append(res.Threads, t.Stats())
+	}
+	if s.ic != nil {
+		res.IC = s.ic.Stats()
+	}
+	return res
+}
+
+// RunWorkload is the one-call convenience used by examples, CLIs and
+// benchmarks: simulate n instructions of src on cfg.
+func RunWorkload(cfg Config, src trace.Source, n int) Result {
+	s := New(cfg, []trace.Source{trace.Limit(src, n)})
+	return s.Run(0)
+}

@@ -1,0 +1,291 @@
+package tgt
+
+import (
+	"testing"
+
+	"zbp/internal/btb"
+	"zbp/internal/history"
+	"zbp/internal/zarch"
+)
+
+func unit() *Unit { return New(DefaultZ15()) }
+
+func branch(addr, target zarch.Addr) btb.Info {
+	return btb.Info{Addr: addr, Len: 4, Kind: zarch.KindUncondInd, Target: target}
+}
+
+func gpvWith(addrs ...zarch.Addr) history.GPV {
+	g := history.New(17)
+	for _, a := range addrs {
+		g = g.Push(a)
+	}
+	return g
+}
+
+func TestSingleTargetUsesBTB(t *testing.T) {
+	u := unit()
+	info := branch(0x1000, 0x2000)
+	sel := u.Select(info, 0, gpvWith(0x10), true)
+	if sel.Provider != ProvBTB || sel.Target != 0x2000 {
+		t.Fatalf("sel = %+v", sel)
+	}
+}
+
+func TestCTBOnlyWhenMultiTarget(t *testing.T) {
+	u := unit()
+	g := gpvWith(0x10, 0x20)
+	info := branch(0x1000, 0x2000)
+	// Install a CTB entry for this path.
+	u.CTBInstall(info.Addr, 0, g, 0x3000)
+	sel := u.Select(info, 0, g, true)
+	if sel.Provider != ProvBTB {
+		t.Fatalf("single-target branch used %v", sel.Provider)
+	}
+	info.MultiTarget = true
+	sel = u.Select(info, 0, g, true)
+	if sel.Provider != ProvCTB || sel.Target != 0x3000 {
+		t.Fatalf("multi-target sel = %+v", sel)
+	}
+}
+
+func TestCTBTagMismatchOnContext(t *testing.T) {
+	u := unit()
+	g := gpvWith(0x10, 0x20)
+	info := branch(0x1000, 0x2000)
+	info.MultiTarget = true
+	u.CTBInstall(info.Addr, 1, g, 0x3000)
+	sel := u.Select(info, 2, g, true) // different address space
+	if sel.Provider == ProvCTB {
+		t.Fatal("CTB hit across address spaces")
+	}
+}
+
+func TestCTBPathSensitivity(t *testing.T) {
+	u := unit()
+	info := branch(0x1000, 0x2000)
+	info.MultiTarget = true
+	g1 := gpvWith(0x10, 0x20, 0x30)
+	g2 := gpvWith(0x50, 0x60, 0x70)
+	u.CTBInstall(info.Addr, 0, g1, 0x3000)
+	u.CTBInstall(info.Addr, 0, g2, 0x4000)
+	if sel := u.Select(info, 0, g1, true); sel.Target != 0x3000 {
+		t.Errorf("path1 target = %s", sel.Target)
+	}
+	if sel := u.Select(info, 0, g2, true); sel.Target != 0x4000 {
+		t.Errorf("path2 target = %s", sel.Target)
+	}
+}
+
+func TestCRSPredictionFlow(t *testing.T) {
+	u := unit()
+	g := gpvWith(0x10)
+	// A far call pushes its NSIA.
+	call := branch(0x1000, 0x100000)
+	call.Kind = zarch.KindUncondRel
+	call.Len = 6
+	u.Select(call, 0, g, true)
+	// The return (marked, multi-target) consumes the stack.
+	ret := branch(0x100040, 0x9999) // BTB target is stale
+	ret.MultiTarget = true
+	ret.IsReturn = true
+	ret.ReturnOffset = 0
+	sel := u.Select(ret, 0, g, true)
+	if sel.Provider != ProvCRS {
+		t.Fatalf("return used %v", sel.Provider)
+	}
+	if want := zarch.Addr(0x1006); sel.Target != want {
+		t.Fatalf("CRS target = %s, want %s", sel.Target, want)
+	}
+	// Stack is now invalid; a second return cannot use it.
+	sel2 := u.Select(ret, 0, g, true)
+	if sel2.Provider == ProvCRS {
+		t.Fatal("CRS provided from an invalid stack")
+	}
+}
+
+func TestCRSReturnOffset(t *testing.T) {
+	u := unit()
+	g := gpvWith(0x10)
+	call := branch(0x1000, 0x100000)
+	call.Len = 6
+	u.Select(call, 0, g, true)
+	ret := branch(0x100040, 0x9999)
+	ret.MultiTarget, ret.IsReturn, ret.ReturnOffset = true, true, 4
+	sel := u.Select(ret, 0, g, true)
+	if want := zarch.Addr(0x1006 + 4); sel.Target != want {
+		t.Fatalf("offset return target = %s, want %s", sel.Target, want)
+	}
+}
+
+func TestCRSBlacklistBlocks(t *testing.T) {
+	u := unit()
+	g := gpvWith(0x10)
+	call := branch(0x1000, 0x100000)
+	call.Len = 6
+	u.Select(call, 0, g, true)
+	ret := branch(0x100040, 0x9999)
+	ret.MultiTarget, ret.IsReturn, ret.CRSBlacklisted = true, true, true
+	sel := u.Select(ret, 0, g, true)
+	if sel.Provider == ProvCRS {
+		t.Fatal("blacklisted branch used CRS")
+	}
+}
+
+func TestNearBranchDoesNotPush(t *testing.T) {
+	u := unit()
+	g := gpvWith(0x10)
+	near := branch(0x1000, 0x1400) // 1KB, below threshold
+	u.Select(near, 0, g, true)
+	if u.Stats().PredPushes != 0 {
+		t.Errorf("near branch pushed: PredPushes = %d", u.Stats().PredPushes)
+	}
+	ret := branch(0x100040, 0x9999)
+	ret.MultiTarget, ret.IsReturn = true, true
+	if sel := u.Select(ret, 0, g, true); sel.Provider == ProvCRS {
+		t.Fatal("stack armed by a near branch")
+	}
+}
+
+func TestRestartPredStack(t *testing.T) {
+	u := unit()
+	g := gpvWith(0x10)
+	call := branch(0x1000, 0x100000)
+	u.Select(call, 0, g, true)
+	u.RestartPredStack()
+	ret := branch(0x100040, 0x9999)
+	ret.MultiTarget, ret.IsReturn = true, true
+	if sel := u.Select(ret, 0, g, true); sel.Provider == ProvCRS {
+		t.Fatal("stack survived restart")
+	}
+}
+
+func TestDetectionMarksReturn(t *testing.T) {
+	u := unit()
+	// Completed far call arms the detection stack.
+	m := u.CompleteTaken(0x1000, 0x100000, 6, false, false)
+	if m.MarkReturn {
+		t.Fatal("call itself marked as return")
+	}
+	// A later taken branch targeting NSIA+4 is detected as a return.
+	m = u.CompleteTaken(0x100040, 0x1006+4, 2, false, false)
+	if !m.MarkReturn || m.ReturnOffset != 4 {
+		t.Fatalf("detection meta = %+v", m)
+	}
+	// Stack was invalidated by the match.
+	m = u.CompleteTaken(0x100080, 0x1006, 2, false, false)
+	if m.MarkReturn {
+		t.Fatal("detection stack not invalidated after match")
+	}
+}
+
+func TestDetectionRearms(t *testing.T) {
+	u := unit()
+	u.CompleteTaken(0x1000, 0x100000, 6, false, false)
+	// Another far branch overwrites the stack (no offset match).
+	u.CompleteTaken(0x2000, 0x200000, 6, false, false)
+	m := u.CompleteTaken(0x200040, 0x2006, 2, false, false)
+	if !m.MarkReturn || m.ReturnOffset != 0 {
+		t.Fatalf("rearmed detection meta = %+v", m)
+	}
+}
+
+func TestAmnesty(t *testing.T) {
+	cfg := DefaultZ15()
+	cfg.AmnestyN = 2
+	u := New(cfg)
+	// Arm detection, then complete blacklisted wrong-target returns that
+	// still pair-match; every 2nd gets amnesty.
+	grants := 0
+	for i := 0; i < 6; i++ {
+		u.CompleteTaken(0x1000, 0x100000, 6, false, false) // arm
+		m := u.CompleteTaken(0x100040, 0x1006, 2, true, true)
+		if !m.MarkReturn {
+			t.Fatalf("iteration %d did not match", i)
+		}
+		if m.ClearBlacklist {
+			grants++
+		}
+	}
+	if grants != 3 {
+		t.Errorf("amnesty grants = %d, want 3", grants)
+	}
+}
+
+func TestWrongTargetRules(t *testing.T) {
+	u := unit()
+	g := gpvWith(0x10, 0x20)
+	addr := zarch.Addr(0x1000)
+
+	// BTB-provided wrong target installs a CTB entry.
+	m := u.WrongTarget(Selection{Provider: ProvBTB, Target: 0x2000}, addr, 0, g, 0x3000)
+	if m.SetBlacklist {
+		t.Error("BTB wrong target blacklisted")
+	}
+	info := branch(addr, 0x2000)
+	info.MultiTarget = true
+	if sel := u.Select(info, 0, g, true); sel.Provider != ProvCTB || sel.Target != 0x3000 {
+		t.Fatalf("CTB not installed: %+v", sel)
+	}
+
+	// CTB-provided wrong target corrects the CTB alone.
+	u.WrongTarget(Selection{Provider: ProvCTB, Target: 0x3000}, addr, 0, g, 0x4000)
+	if sel := u.Select(info, 0, g, true); sel.Target != 0x4000 {
+		t.Fatalf("CTB not corrected: %+v", sel)
+	}
+
+	// CRS-provided wrong target requests a blacklist.
+	m = u.WrongTarget(Selection{Provider: ProvCRS, Target: 0x5000}, addr, 0, g, 0x6000)
+	if !m.SetBlacklist {
+		t.Error("CRS wrong target not blacklisted")
+	}
+}
+
+func TestDisabledCTB(t *testing.T) {
+	cfg := DefaultZ15()
+	cfg.CTBEntries = 0
+	u := New(cfg)
+	g := gpvWith(0x10)
+	info := branch(0x1000, 0x2000)
+	info.MultiTarget = true
+	u.CTBInstall(info.Addr, 0, g, 0x3000)
+	if sel := u.Select(info, 0, g, true); sel.Provider == ProvCTB {
+		t.Fatal("disabled CTB provided")
+	}
+}
+
+func TestDisabledCRS(t *testing.T) {
+	cfg := DefaultZ15()
+	cfg.CRSEnabled = false
+	u := New(cfg)
+	g := gpvWith(0x10)
+	call := branch(0x1000, 0x100000)
+	u.Select(call, 0, g, true)
+	ret := branch(0x100040, 0x9999)
+	ret.MultiTarget, ret.IsReturn = true, true
+	if sel := u.Select(ret, 0, g, true); sel.Provider == ProvCRS {
+		t.Fatal("disabled CRS provided")
+	}
+	if m := u.CompleteTaken(0x1000, 0x100000, 6, false, false); m.MarkReturn {
+		t.Fatal("disabled CRS detected returns")
+	}
+}
+
+func TestProviderString(t *testing.T) {
+	if ProvBTB.String() != "btb" || ProvCTB.String() != "ctb" || ProvCRS.String() != "crs" {
+		t.Error("provider names wrong")
+	}
+	if Provider(9).String() != "target(?)" {
+		t.Error("out-of-range name")
+	}
+}
+
+func TestNewPanicsOnBadCTBSize(t *testing.T) {
+	cfg := DefaultZ15()
+	cfg.CTBEntries = 1000 // not a power of two
+	defer func() {
+		if recover() == nil {
+			t.Error("New accepted non-power-of-two CTB")
+		}
+	}()
+	New(cfg)
+}

@@ -1,0 +1,127 @@
+package tune
+
+import (
+	"testing"
+
+	"zbp/internal/sim"
+)
+
+func smallStudy(axes ...Axis) *Study {
+	return &Study{
+		Base:         sim.Z15(),
+		Axes:         axes,
+		Workloads:    []string{"loops"},
+		Instructions: 20000,
+		Seed:         3,
+	}
+}
+
+func TestCartesianSize(t *testing.T) {
+	ax := StandardAxes()
+	s := smallStudy(ax["gpv"], ax["skoot"])
+	if s.Size() != 4 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	out := s.Run()
+	if len(out) != 4 {
+		t.Fatalf("outcomes = %d", len(out))
+	}
+	seen := map[string]bool{}
+	for _, o := range out {
+		seen[o.Name(s.Axes)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("distinct points = %d: %v", len(seen), seen)
+	}
+}
+
+func TestNoAxesSinglePoint(t *testing.T) {
+	s := smallStudy()
+	out := s.Run()
+	if len(out) != 1 {
+		t.Fatalf("outcomes = %d", len(out))
+	}
+	if out[0].IPC <= 0 || out[0].PerWorkload["loops"].Instructions() == 0 {
+		t.Error("empty point did not evaluate")
+	}
+}
+
+func TestSortedByScore(t *testing.T) {
+	ax := StandardAxes()
+	s := smallStudy(ax["pht"])
+	s.Workloads = []string{"patterned"}
+	out := s.Run()
+	for i := 1; i < len(out); i++ {
+		if out[i].Score > out[i-1].Score {
+			t.Fatal("outcomes not sorted by score")
+		}
+	}
+	// On a pattern workload, disabling the PHT cannot win.
+	if out[0].Labels[0] == "off" {
+		t.Errorf("PHT-off ranked best: %+v", out[0])
+	}
+}
+
+func TestCustomScore(t *testing.T) {
+	ax := StandardAxes()
+	s := smallStudy(ax["skoot"])
+	s.Score = func(mpki, ipc float64) float64 { return -mpki }
+	out := s.Run()
+	if out[0].Score != -out[0].MPKI {
+		t.Error("custom score not applied")
+	}
+}
+
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	ax := StandardAxes()
+	mk := func(par int) []Outcome {
+		s := smallStudy(ax["gpv"], ax["perceptron"])
+		s.Parallelism = par
+		return s.Run()
+	}
+	a, b := mk(1), mk(8)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i].Name(StandardAxesList("gpv", "perceptron")) != b[i].Name(StandardAxesList("gpv", "perceptron")) ||
+			a[i].MPKI != b[i].MPKI {
+			t.Fatalf("point %d differs between parallelism levels", i)
+		}
+	}
+}
+
+// StandardAxesList resolves names for tests.
+func StandardAxesList(names ...string) []Axis {
+	ax := StandardAxes()
+	out := make([]Axis, len(names))
+	for i, n := range names {
+		out[i] = ax[n]
+	}
+	return out
+}
+
+func TestPanicsOnBadStudy(t *testing.T) {
+	check := func(name string, s *Study) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		s.Run()
+	}
+	check("no workloads", &Study{Base: sim.Z15(), Instructions: 100})
+	check("bad workload", &Study{Base: sim.Z15(), Instructions: 100, Workloads: []string{"nope"}})
+	check("empty axis", &Study{Base: sim.Z15(), Instructions: 100,
+		Workloads: []string{"loops"}, Axes: []Axis{{Name: "x"}}})
+}
+
+func TestStandardAxesComplete(t *testing.T) {
+	ax := StandardAxes()
+	for _, name := range []string{"btb1", "btb2", "pht", "gpv", "perceptron", "crs", "skoot", "specdir", "crsdist"} {
+		a, ok := ax[name]
+		if !ok || len(a.Values) < 2 {
+			t.Errorf("axis %q missing or trivial", name)
+		}
+	}
+}

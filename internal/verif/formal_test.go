@@ -1,0 +1,41 @@
+package verif
+
+import "testing"
+
+func TestExhaustiveCounter2(t *testing.T) {
+	if err := ExhaustiveCounter2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExhaustiveSpecDir(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3} {
+		if err := ExhaustiveSpecDir(capacity, 5); err != nil {
+			t.Fatalf("capacity %d: %v", capacity, err)
+		}
+	}
+}
+
+func TestExhaustiveStage(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3} {
+		if err := ExhaustiveStage(capacity, 10); err != nil {
+			t.Fatalf("capacity %d: %v", capacity, err)
+		}
+	}
+}
+
+func TestExhaustiveGPV(t *testing.T) {
+	for _, depth := range []int{1, 3, 9} {
+		if err := ExhaustiveGPV(depth, 7); err != nil {
+			t.Fatalf("gpv depth %d: %v", depth, err)
+		}
+	}
+}
+
+func TestExhaustiveBTBRow(t *testing.T) {
+	for _, ways := range []int{1, 2, 3} {
+		if err := ExhaustiveBTBRow(ways, 4); err != nil {
+			t.Fatalf("ways %d: %v", ways, err)
+		}
+	}
+}

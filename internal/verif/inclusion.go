@@ -1,0 +1,79 @@
+package verif
+
+import (
+	"fmt"
+
+	"zbp/internal/btb"
+	"zbp/internal/core"
+	"zbp/internal/zarch"
+)
+
+// InclusionMonitor checks the z15 semi-inclusive invariant of §III:
+// "the BTB2 acts as an approximate super-set of the BTB1". It mirrors
+// the set of live BTB1 branch addresses from write events and, at
+// checkpoints, verifies that each is present in the BTB2.
+//
+// The invariant is *approximate* in hardware too (the paper's word):
+// BTB2 conflict evictions legitimately lose a few percent of the
+// population (code 2MB apart shares BTB2 rows), so the monitor reports
+// a violation only when the miss ratio at a checkpoint exceeds a
+// tolerance. Branches that entered the BTB1 via
+// Preload (test setup) are exempted automatically when preloading
+// bypasses both levels' coupling — attach the monitor before
+// preloading only if both levels are preloaded consistently.
+type InclusionMonitor struct {
+	c         *core.Core
+	live      map[zarch.Addr]bool
+	tolerance float64
+	errs      []Error
+	checks    int64
+}
+
+// NewInclusionMonitor attaches an inclusion monitor to c. tolerance is
+// the allowed fraction of BTB1 entries missing from the BTB2 at a
+// checkpoint (e.g. 0.02).
+func NewInclusionMonitor(c *core.Core, tolerance float64) *InclusionMonitor {
+	m := &InclusionMonitor{c: c, live: make(map[zarch.Addr]bool), tolerance: tolerance}
+	c.ObserveBTB1(m.onWrite)
+	return m
+}
+
+func (m *InclusionMonitor) onWrite(ev btb.Event) {
+	switch ev.Kind {
+	case btb.EvInstall, btb.EvUpdate:
+		m.live[ev.Info.Addr] = true
+	case btb.EvEvict, btb.EvInvalidate:
+		delete(m.live, ev.Info.Addr)
+	}
+}
+
+// Checkpoint crosschecks the live BTB1 set against the BTB2.
+func (m *InclusionMonitor) Checkpoint() {
+	if len(m.live) == 0 {
+		return
+	}
+	m.checks++
+	missing := 0
+	for addr := range m.live {
+		if _, ok := m.c.BTB2Lookup(addr); !ok {
+			missing++
+		}
+	}
+	ratio := float64(missing) / float64(len(m.live))
+	if ratio > m.tolerance {
+		m.errs = append(m.errs, Error{
+			Cycle: m.c.Clock(),
+			What: fmt.Sprintf("semi-inclusive invariant broken: %d of %d BTB1 entries (%.1f%%) missing from BTB2",
+				missing, len(m.live), 100*ratio),
+		})
+	}
+}
+
+// Errors returns the detected violations.
+func (m *InclusionMonitor) Errors() []Error { return m.errs }
+
+// Checks returns the number of checkpoints evaluated.
+func (m *InclusionMonitor) Checks() int64 { return m.checks }
+
+// Live returns the mirrored BTB1 population size (for tests).
+func (m *InclusionMonitor) Live() int { return len(m.live) }

@@ -1,0 +1,50 @@
+package verif
+
+import (
+	"testing"
+
+	"zbp/internal/core"
+	"zbp/internal/frontend"
+	"zbp/internal/trace"
+	"zbp/internal/workload"
+)
+
+func TestInclusionHoldsOnZ15(t *testing.T) {
+	c := core.New(core.Z15())
+	m := NewInclusionMonitor(c, 0.10)
+	fe := frontend.NewThread(frontend.DefaultConfig(), 0, c, nil,
+		trace.Limit(workload.LSPR(5, 64, 1.0), 150000))
+	for i := 0; i < 10_000_000 && !fe.Done(); i++ {
+		c.Cycle()
+		fe.Step(c.Clock())
+		if c.Clock()%5000 == 0 {
+			m.Checkpoint()
+		}
+	}
+	m.Checkpoint()
+	if m.Checks() == 0 || m.Live() == 0 {
+		t.Fatalf("monitor saw nothing: checks=%d live=%d", m.Checks(), m.Live())
+	}
+	if errs := m.Errors(); len(errs) != 0 {
+		t.Fatalf("inclusion violated: %v", errs[0])
+	}
+}
+
+func TestInclusionDetectsExclusiveDesign(t *testing.T) {
+	// The pre-z15 semi-exclusive design intentionally does NOT keep the
+	// BTB2 a superset: the monitor must flag it (sanity check that the
+	// checker has teeth).
+	cfg := core.Z14()
+	c := core.New(cfg)
+	m := NewInclusionMonitor(c, 0.5)
+	fe := frontend.NewThread(frontend.DefaultConfig(), 0, c, nil,
+		trace.Limit(workload.LSPR(5, 64, 1.0), 120000))
+	for i := 0; i < 10_000_000 && !fe.Done(); i++ {
+		c.Cycle()
+		fe.Step(c.Clock())
+	}
+	m.Checkpoint()
+	if len(m.Errors()) == 0 {
+		t.Fatal("monitor blind: semi-exclusive z14 passed a superset check")
+	}
+}

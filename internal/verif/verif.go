@@ -1,0 +1,238 @@
+// Package verif reproduces the paper's §VII verification methodology
+// in software: white-box, hardware-signal-driven reference models that
+// run in lockstep with the design under test, decoupled read-side and
+// write-side monitors, expect/checkpoint crosschecking, array
+// preloading, and a constrained-random stimulus driver.
+//
+// The reference models here are deliberately *driven by design events*
+// (btb.Event observers) rather than independently recomputed -- exactly
+// as the paper describes: "these hardware signal driven models in C++
+// were more of an abstraction of the internal hardware workings than an
+// independent reference model... Hardware implementation errors would
+// corrupt values in these models." The monitors then crosscheck the
+// design's outputs (read side) and its write behaviour (write side)
+// against these mirrors. Read and write monitors are decoupled: the
+// read-side mirror is updated only by observed hardware writes, never
+// by write-side expectations (figure 11).
+package verif
+
+import (
+	"fmt"
+
+	"zbp/internal/btb"
+	"zbp/internal/core"
+	"zbp/internal/tgt"
+	"zbp/internal/zarch"
+)
+
+// Error is one detected discrepancy.
+type Error struct {
+	Cycle int64
+	What  string
+}
+
+func (e Error) String() string { return fmt.Sprintf("cycle %d: %s", e.Cycle, e.What) }
+
+// mirrorEntry is one slot of the hardware-driven BTB1 mirror.
+type mirrorEntry struct {
+	valid bool
+	info  btb.Info
+}
+
+// ReadMonitor crosschecks every prediction the design presents against
+// the hardware-driven BTB1 mirror: the predicted branch must be
+// explainable by mirror content (same row, a way whose stored entry
+// reconstructs to the predicted address), with matching kind and -- for
+// BTB-provided targets -- matching target.
+type ReadMonitor struct {
+	geo    btb.Geometry
+	mirror [][]mirrorEntry
+	errs   []Error
+	checks int64
+}
+
+// newReadMonitor builds a read-side monitor for the given geometry;
+// use Attach to wire it to a core.
+func newReadMonitor(geo btb.Geometry) *ReadMonitor {
+	m := &ReadMonitor{geo: geo}
+	m.mirror = make([][]mirrorEntry, geo.Rows())
+	for i := range m.mirror {
+		m.mirror[i] = make([]mirrorEntry, geo.Ways)
+	}
+	return m
+}
+
+// onWrite updates the mirror from a hardware write event (lockstep).
+func (m *ReadMonitor) onWrite(ev btb.Event) {
+	e := &m.mirror[ev.Row][ev.Way]
+	switch ev.Kind {
+	case btb.EvInstall, btb.EvUpdate:
+		*e = mirrorEntry{valid: true, info: ev.Info}
+	case btb.EvInvalidate:
+		e.valid = false
+	case btb.EvEvict:
+		e.valid = false
+	}
+}
+
+// row/tag/offset mirror the hardware index functions.
+func (m *ReadMonitor) row(addr zarch.Addr) int {
+	return int(uint64(addr) >> m.geo.LineShift & uint64(m.geo.Rows()-1))
+}
+
+// CheckPrediction crosschecks one presented prediction at its b5 cycle.
+// fromBTBP predictions (pre-z15 designs) bypass the BTB1 mirror.
+func (m *ReadMonitor) CheckPrediction(p core.Prediction) {
+	if p.FromBTBP {
+		return
+	}
+	m.checks++
+	row := m.mirror[m.row(p.Addr)]
+	line := m.geo.Line(p.Addr)
+	off := p.Addr - line
+	for w := range row {
+		e := &row[w]
+		if !e.valid {
+			continue
+		}
+		// Reconstruct as the hardware would: same in-line offset, and
+		// the entry's own line must fold to the same row and tag. The
+		// mirror stores the installed Info, whose Addr carries the
+		// true install address.
+		eOff := e.info.Addr - m.geo.Line(e.info.Addr)
+		if eOff != off || m.row(e.info.Addr) != m.row(p.Addr) {
+			continue
+		}
+		if e.info.Kind != p.Kind {
+			continue
+		}
+		if p.Taken && p.Tgt.Provider == tgt.ProvBTB && e.info.Target != p.Target {
+			continue
+		}
+		return // explained
+	}
+	m.errs = append(m.errs, Error{
+		Cycle: p.PresentedAt,
+		What: fmt.Sprintf("prediction at %s (way %d, taken=%v) not explainable by BTB1 mirror",
+			p.Addr, p.Way, p.Taken),
+	})
+}
+
+// Errors returns the detected discrepancies.
+func (m *ReadMonitor) Errors() []Error { return m.errs }
+
+// Checks returns how many predictions were crosschecked.
+func (m *ReadMonitor) Checks() int64 { return m.checks }
+
+// expect is one outstanding write-side expectation.
+type expect struct {
+	addr     zarch.Addr
+	deadline int64
+	note     string
+}
+
+// WriteMonitor checks that required installs actually reach the BTB1:
+// after a surprise branch that must be installed completes, an install
+// or update event for its address must be observed before a deadline
+// (the write queue drains one entry per cycle, §IV). Expect values are
+// recorded at the triggering event and crosschecked at checkpoints;
+// they are never forwarded into the read-side mirror (figure 10/11).
+type WriteMonitor struct {
+	pending []expect
+	errs    []Error
+	checks  int64
+}
+
+// Chain composes observers so several monitors can watch one table.
+func Chain(fns ...func(btb.Event)) func(btb.Event) {
+	return func(ev btb.Event) {
+		for _, fn := range fns {
+			fn(ev)
+		}
+	}
+}
+
+func (m *WriteMonitor) onWrite(ev btb.Event) {
+	if ev.Kind != btb.EvInstall && ev.Kind != btb.EvUpdate {
+		return
+	}
+	out := m.pending[:0]
+	for _, ex := range m.pending {
+		if ex.addr == ev.Info.Addr {
+			m.checks++
+			continue
+		}
+		out = append(out, ex)
+	}
+	m.pending = out
+}
+
+// ExpectInstall records that addr must be written by cycle deadline.
+func (m *WriteMonitor) ExpectInstall(addr zarch.Addr, deadline int64, note string) {
+	m.pending = append(m.pending, expect{addr: addr, deadline: deadline, note: note})
+}
+
+// Checkpoint crosschecks all expired expectations at the given cycle.
+func (m *WriteMonitor) Checkpoint(now int64) {
+	out := m.pending[:0]
+	for _, ex := range m.pending {
+		if ex.deadline <= now {
+			m.errs = append(m.errs, Error{
+				Cycle: now,
+				What:  fmt.Sprintf("expected install of %s (%s) never observed", ex.addr, ex.note),
+			})
+			continue
+		}
+		out = append(out, ex)
+	}
+	m.pending = out
+}
+
+// Errors returns the detected discrepancies.
+func (m *WriteMonitor) Errors() []Error { return m.errs }
+
+// Checks returns how many expectations were satisfied.
+func (m *WriteMonitor) Checks() int64 { return m.checks }
+
+// Harness wires the decoupled read-side and write-side monitors to a
+// predictor core (figure 11). Attach it before running stimulus.
+type Harness struct {
+	Read  *ReadMonitor
+	Write *WriteMonitor
+	c     *core.Core
+}
+
+// Attach builds and wires a verification harness onto c.
+func Attach(c *core.Core) *Harness {
+	h := &Harness{
+		Read:  newReadMonitor(c.Config().BTB1),
+		Write: &WriteMonitor{},
+		c:     c,
+	}
+	// The read-side mirror and the write-side checker observe the same
+	// hardware write signals but remain otherwise decoupled: the
+	// mirror is never updated from write-side expectations (§VII).
+	c.ObserveBTB1(Chain(h.Read.onWrite, h.Write.onWrite))
+	c.SetPredictHook(h.Read.CheckPrediction)
+	wq := int64(c.Config().WriteQueueCap + c.Config().StageCap + 64)
+	c.SetSurpriseHook(func(s core.Surprise, queued bool) {
+		if queued {
+			h.Write.ExpectInstall(s.Addr, c.Clock()+wq, "surprise install")
+		}
+	})
+	return h
+}
+
+// Checkpoint crosschecks expired write-side expectations now.
+func (h *Harness) Checkpoint() { h.Write.Checkpoint(h.c.Clock()) }
+
+// Errors returns all discrepancies from both monitors.
+func (h *Harness) Errors() []Error {
+	var errs []Error
+	errs = append(errs, h.Read.Errors()...)
+	errs = append(errs, h.Write.Errors()...)
+	return errs
+}
+
+// Checks returns the total crosschecks performed.
+func (h *Harness) Checks() int64 { return h.Read.Checks() + h.Write.Checks() }

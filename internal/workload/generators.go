@@ -1,0 +1,541 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"zbp/internal/hashx"
+	"zbp/internal/trace"
+)
+
+// Maker constructs a fresh, deterministic trace source for a seed.
+type Maker func(seed uint64) trace.Source
+
+// Registry returns the named workloads used by the CLIs, experiments
+// and benchmarks. Each entry is self-contained and seeded.
+func Registry() map[string]Maker {
+	return map[string]Maker{
+		"loops":      Loops,
+		"callret":    CallReturn,
+		"indirect":   IndirectSwitch,
+		"patterned":  Patterned,
+		"lspr-small": func(seed uint64) trace.Source { return LSPR(seed, 400, 1.0) },
+		"lspr":       func(seed uint64) trace.Source { return LSPR(seed, 2000, 1.0) },
+		"lspr-large": func(seed uint64) trace.Source { return LSPR(seed, 6000, 0.9) },
+		"micro":      Microservices,
+		"interp":     Interpreter,
+		"btree":      BTree,
+		"mixed":      Mixed,
+	}
+}
+
+// Names returns the registry keys in sorted order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Make builds the named workload or returns an error listing the
+// available names.
+func Make(name string, seed uint64) (trace.Source, error) {
+	m, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
+	}
+	return m(seed), nil
+}
+
+// Loops is a compute-intensive kernel: a three-deep loop nest with a
+// strongly biased branch and a short repeating pattern in the inner
+// body. Nearly every branch is predictable; this is the "small, hot"
+// end of the spectrum the paper contrasts with large-footprint work.
+func Loops(seed uint64) trace.Source {
+	b := NewBuilder(0x10000, seed)
+
+	outerHeadL, midHeadL, innerHeadL := b.NewLabel(), b.NewLabel(), b.NewLabel()
+	afterRareL := b.NewLabel()
+
+	outerHead := b.Block(24)
+	b.Bind(outerHeadL, outerHead)
+	midHead := b.Block(16)
+	b.Bind(midHeadL, midHead)
+	innerHead := b.Block(12)
+	b.Bind(innerHeadL, innerHead)
+
+	// Biased branch usually skips the rare block.
+	biasBlk := b.Block(8)
+	biasBlk.CondBias(0.95, afterRareL)
+	b.Block(10) // rare path, fallthrough into afterRare
+	afterRare := b.Block(6)
+	b.Bind(afterRareL, afterRare)
+	afterRare.CondPattern([]bool{true, true, false}, innerHeadL)
+
+	innerLatch := b.Block(4)
+	innerLatch.Loop(10, innerHeadL)
+	midLatch := b.Block(4)
+	midLatch.Loop(50, midHeadL)
+	outerLatch := b.Block(4)
+	outerLatch.Loop(1<<30, outerHeadL)
+	end := b.Block(2)
+	end.Jump(outerHeadL)
+
+	return NewExec(b.MustBuild(outerHead), seed+1)
+}
+
+// CallReturn models shared utility functions invoked from many distant
+// call sites -- the pattern the CRS distance heuristic detects (paper
+// §VI). Call sites sit in a loop far (>64KB) from the callees, so taken
+// call branches exceed the distance threshold, and each return targets
+// a different NSIA.
+func CallReturn(seed uint64) trace.Source {
+	b := NewBuilder(0x40000, seed)
+	rng := hashx.New(seed ^ 0xc0ffee)
+
+	const nSites = 24
+	const nFns = 3
+
+	fnLabels := make([]*Label, nFns)
+	for i := range fnLabels {
+		fnLabels[i] = b.NewLabel()
+	}
+	headL := b.NewLabel()
+
+	head := b.Block(12)
+	b.Bind(headL, head)
+	for i := 0; i < nSites; i++ {
+		site := b.Block(10 + rng.Intn(4)*2)
+		site.Call(fnLabels[i%nFns])
+	}
+	latch := b.Block(4)
+	latch.Loop(1<<30, headL)
+	tail := b.Block(2)
+	tail.Jump(headL)
+
+	// The functions live far away so taken call-branch distance exceeds
+	// the CRS detection threshold.
+	b.Gap(512 * 1024)
+	for i := 0; i < nFns; i++ {
+		entry := b.Block(20 + rng.Intn(10)*2)
+		b.Bind(fnLabels[i], entry)
+		bodyL := b.NewLabel()
+		body := b.Block(10)
+		b.Bind(bodyL, body)
+		bodyLatch := b.Block(4)
+		bodyLatch.Loop(3+i, bodyL)
+		ret := b.Block(2)
+		ret.Return()
+		b.Gap(4096)
+	}
+	return NewExec(b.MustBuild(head), seed+1)
+}
+
+// IndirectSwitch stresses the CTB: a dispatch loop whose first switch
+// rotates round-robin and whose second switch's target is a function of
+// the first's choice two taken-branches earlier -- exactly the
+// path-correlated changing-target behaviour a GPV-indexed CTB learns
+// (§VI). A third, genuinely random switch runs on a rare path (1 in 16
+// iterations) as the irreducible component.
+func IndirectSwitch(seed uint64) trace.Source {
+	b := NewBuilder(0x20000, seed)
+
+	headL := b.NewLabel()
+	head := b.Block(16)
+	b.Bind(headL, head)
+
+	mkArms := func(n int) []Target {
+		ts := make([]Target, n)
+		for i := range ts {
+			ts[i] = b.NewLabel()
+		}
+		return ts
+	}
+
+	// Stage A: round-robin fanout 4. Its arm identity enters the GPV.
+	armsA := mkArms(4)
+	swA := b.Block(8)
+	swA.Switch(armsA, ChooseRoundRobin)
+
+	// Stage B: target correlated with stage A's arm (lag 2 in the
+	// taken-target history).
+	swBL := b.NewLabel()
+	armsB := mkArms(4)
+	swB := b.Block(8)
+	b.Bind(swBL, swB)
+	swB.Switch(armsB, ChoosePath)
+
+	// Rare random stage: entered 1 of 16 iterations via the gate.
+	gateL := b.NewLabel()
+	rareSwL := b.NewLabel()
+	latchL := b.NewLabel()
+	gate := b.Block(6)
+	b.Bind(gateL, gate)
+	gate.CondPattern([]bool{
+		false, false, false, false, false, false, false, false,
+		false, false, false, false, false, false, false, true,
+	}, rareSwL)
+	fall := b.Block(2)
+	fall.Jump(latchL)
+
+	armsC := mkArms(4)
+	rareSw := b.Block(4)
+	b.Bind(rareSwL, rareSw)
+	rareSw.Switch(armsC, ChooseRandom)
+
+	latch := b.Block(4)
+	b.Bind(latchL, latch)
+	latch.Loop(1<<30, headL)
+	fin := b.Block(2)
+	fin.Jump(headL)
+
+	bindArms := func(arms []Target, next Target) {
+		for _, a := range arms {
+			blk := b.Block(8)
+			blk.Jump(next)
+			b.Bind(a.(*Label), blk)
+		}
+	}
+	bindArms(armsA, swBL)
+	bindArms(armsB, gateL)
+	bindArms(armsC, latchL)
+
+	return NewExec(b.MustBuild(head), seed+1)
+}
+
+// Patterned isolates direction prediction: a tight loop over branches
+// with repeating patterns of several lengths, single-lag correlations
+// (sparse history bits, the perceptron's specialty, paper §V),
+// XOR combinations and an irreducible 50/50 branch.
+func Patterned(seed uint64) trace.Source {
+	b := NewBuilder(0x30000, seed)
+
+	headL := b.NewLabel()
+	head := b.Block(8)
+	b.Bind(headL, head)
+
+	// Layout per branch: blk (cond, taken->island) | fall (jump after) |
+	// island (falls into after) | after.
+	wirePattern := func(wire func(blk BlockRef, tgt Target)) {
+		islandL := b.NewLabel()
+		afterL := b.NewLabel()
+		blk := b.Block(6)
+		wire(blk, islandL)
+		fall := b.Block(4)
+		fall.Jump(afterL)
+		island := b.Block(6)
+		b.Bind(islandL, island)
+		after := b.Block(4)
+		b.Bind(afterL, after)
+	}
+
+	wirePattern(func(blk BlockRef, t Target) { blk.CondPattern([]bool{true, false}, t) })
+	wirePattern(func(blk BlockRef, t Target) { blk.CondPattern([]bool{true, true, false}, t) })
+	wirePattern(func(blk BlockRef, t Target) {
+		blk.CondPattern([]bool{true, true, true, true, false, false, true, false}, t)
+	})
+	wirePattern(func(blk BlockRef, t Target) {
+		pat := make([]bool, 15)
+		for i := range pat {
+			pat[i] = i%3 != 0
+		}
+		blk.CondPattern(pat, t)
+	})
+	wirePattern(func(blk BlockRef, t Target) { blk.CondLag(4, t) })
+	wirePattern(func(blk BlockRef, t Target) { blk.CondLag(14, t) })
+	wirePattern(func(blk BlockRef, t Target) { blk.CondXOR([]int{2, 5}, t) })
+	wirePattern(func(blk BlockRef, t Target) { blk.CondXOR([]int{3, 7, 11}, t) })
+	wirePattern(func(blk BlockRef, t Target) { blk.CondBias(0.5, t) })  // irreducible
+	wirePattern(func(blk BlockRef, t Target) { blk.CondBias(0.98, t) }) // BHT fodder
+
+	latch := b.Block(4)
+	latch.Loop(1<<30, headL)
+	fin := b.Block(2)
+	fin.Jump(headL)
+
+	return NewExec(b.MustBuild(head), seed+1)
+}
+
+// LSPR approximates IBM's Large System Performance Reference profile
+// (paper §I): a transaction dispatcher Zipf-selects among nFuncs
+// functions whose bodies mix loops, patterned and biased conditionals,
+// occasional multi-target switches, and calls into a pool of distant
+// shared utilities. nFuncs scales the instruction footprint; ~2000
+// functions is a few MB of code -- far more branches than a 16K-entry
+// BTB1 tracks, the regime the multi-level BTB targets (§II.A, §III).
+func LSPR(seed uint64, nFuncs int, zipfS float64) trace.Source {
+	if nFuncs < 8 {
+		panic("workload: LSPR needs at least 8 functions")
+	}
+	b := NewBuilder(0x100000, seed)
+	rng := hashx.New(seed ^ 0x15b9)
+
+	fnEntries := make([]*Label, nFuncs)
+	for i := range fnEntries {
+		fnEntries[i] = b.NewLabel()
+	}
+	const nUtil = 8
+	utils := make([]*Label, nUtil)
+	for i := range utils {
+		utils[i] = b.NewLabel()
+	}
+
+	// Dispatcher: a Zipf-weighted switch selects a *transaction script*,
+	// a fixed chain of function calls. The data-dependent (irreducible)
+	// indirect dispatch happens once per transaction; within a script
+	// the call sequence is deterministic warm code -- the shape of real
+	// LSPR transactions.
+	dispL := b.NewLabel()
+	disp := b.Block(12)
+	b.Bind(dispL, disp)
+	nScripts := nFuncs/10 + 4
+	scripts := make([]Target, nScripts)
+	weights := make([]int, nScripts)
+	for i := range scripts {
+		scripts[i] = b.NewLabel()
+		w := int(1e6 / math.Pow(float64(i+1), zipfS))
+		if w < 1 {
+			w = 1
+		}
+		weights[i] = w
+	}
+	sel := b.Block(6)
+	sel.SwitchWeighted(scripts, weights)
+	for i := range scripts {
+		first := b.Block(4)
+		b.Bind(scripts[i].(*Label), first)
+		calls := 4 + rng.Intn(6)
+		for c := 0; c < calls; c++ {
+			// Scripts lean on the Zipf-popular low-index functions but
+			// each has its own deterministic mix.
+			fn := rng.Intn(nFuncs)
+			if rng.Bool(0.5) {
+				fn = rng.Intn(nFuncs/8 + 1)
+			}
+			blk := b.Block(4 + rng.Intn(4)*2)
+			blk.Call(fnEntries[fn])
+		}
+		tail := b.Block(2)
+		tail.Jump(dispL)
+	}
+
+	b.Gap(64 * 1024)
+	for i := 0; i < nFuncs; i++ {
+		buildLSPRFunc(b, rng, fnEntries[i], utils)
+	}
+
+	// Utility pool, far away so utility calls exceed the CRS distance
+	// threshold.
+	b.Gap(2 * 1024 * 1024)
+	for i := 0; i < nUtil; i++ {
+		entry := b.Block(24 + rng.Intn(12)*2)
+		b.Bind(utils[i], entry)
+		bodyL := b.NewLabel()
+		body := b.Block(12)
+		b.Bind(bodyL, body)
+		latch := b.Block(4)
+		latch.Loop(2+rng.Intn(6), bodyL)
+		ret := b.Block(2)
+		ret.Return()
+		b.Gap(1024)
+	}
+
+	return NewExec(b.MustBuild(disp), seed+1)
+}
+
+// buildLSPRFunc lays out one LSPR function body with a randomized mix
+// of branch idioms, ending in a Return.
+func buildLSPRFunc(b *Builder, rng *hashx.Rand, entry *Label, utils []*Label) {
+	first := b.Block(8 + rng.Intn(20)*2)
+	b.Bind(entry, first)
+
+	// Most functions begin with a small setup loop (initialization,
+	// field copies). Its taken latches fill the shallow history window,
+	// so a 9-deep path index sees function-local context for the
+	// branches that follow, while a 17-deep index still carries caller
+	// entropy -- the capacity-efficiency asymmetry between the z15 TAGE
+	// short table and a single long-history PHT (§V).
+	if rng.Bool(0.7) {
+		headL := b.NewLabel()
+		head := b.Block(6 + rng.Intn(6)*2)
+		b.Bind(headL, head)
+		latch := b.Block(4)
+		latch.Loop(3+rng.Intn(3), headL)
+	}
+
+	condIsland := func(wire func(blk BlockRef, tgt Target)) {
+		afterL := b.NewLabel()
+		blk := b.Block(8)
+		wire(blk, afterL)
+		b.Block(6 + rng.Intn(8)*2) // island, executed on not-taken, falls into after
+		after := b.Block(4)
+		b.Bind(afterL, after)
+	}
+
+	nIdioms := 1 + rng.Intn(4)
+	for k := 0; k < nIdioms; k++ {
+		switch rng.Intn(10) {
+		case 0, 1: // small loop
+			headL := b.NewLabel()
+			head := b.Block(6 + rng.Intn(10)*2)
+			b.Bind(headL, head)
+			latch := b.Block(4)
+			latch.Loop(2+rng.Intn(12), headL)
+		case 2, 3: // biased conditional
+			p := []float64{0.02, 0.05, 0.1, 0.85, 0.9, 0.95}[rng.Intn(6)]
+			condIsland(func(blk BlockRef, t Target) { blk.CondBias(p, t) })
+		case 4: // hard conditional
+			p := 0.35 + rng.Float64()*0.3
+			condIsland(func(blk BlockRef, t Target) { blk.CondBias(p, t) })
+		case 5, 6: // patterned conditional
+			n := 2 + rng.Intn(12)
+			pat := make([]bool, n)
+			for i := range pat {
+				pat[i] = rng.Bool(0.6)
+			}
+			condIsland(func(blk BlockRef, t Target) { blk.CondPattern(pat, t) })
+		case 7: // lag-correlated conditional
+			lag := 1 + rng.Intn(16)
+			condIsland(func(blk BlockRef, t Target) { blk.CondLag(lag, t) })
+		case 8: // utility call
+			blk := b.Block(6)
+			blk.Call(utils[rng.Intn(len(utils))])
+			b.Block(4) // continuation after return
+		case 9: // small switch
+			fan := 2 + rng.Intn(6)
+			arms := make([]Target, fan)
+			for i := range arms {
+				arms[i] = b.NewLabel()
+			}
+			joinL := b.NewLabel()
+			blk := b.Block(6)
+			// Mostly learnable multi-target behaviour, occasionally
+			// data-dependent (irreducible) dispatch.
+			ch := []TargetChooser{ChoosePath, ChoosePath, ChooseRoundRobin, ChooseRandom}[rng.Intn(4)]
+			blk.Switch(arms, ch)
+			for i := range arms {
+				arm := b.Block(4 + rng.Intn(6)*2)
+				arm.Jump(joinL)
+				b.Bind(arms[i].(*Label), arm)
+			}
+			join := b.Block(4)
+			b.Bind(joinL, join)
+		}
+	}
+	ret := b.Block(2 + rng.Intn(4)*2)
+	ret.Return()
+	b.Gap(64 + rng.Intn(128)*2)
+}
+
+// Microservices models the "large quantity of smaller micro-services"
+// transition the paper calls out (§II): a request dispatcher Zipf-
+// selects among many small service handlers, each of which does a
+// little local work and makes one or two calls into a distant pool of
+// shared infrastructure routines (serialization, logging, RPC) -- the
+// far call/return pairs the CRS heuristic detects. Each service is
+// invoked from its own dispatch thunk, so service returns are
+// single-target; the shared-pool returns are the multi-target ones.
+func Microservices(seed uint64) trace.Source {
+	b := NewBuilder(0x80000, seed)
+	rng := hashx.New(seed ^ 0x5e11)
+
+	const nSvc = 160
+	const nLeaf = 32
+	entries := make([]*Label, nSvc)
+	for i := range entries {
+		entries[i] = b.NewLabel()
+	}
+	leaves := make([]*Label, nLeaf)
+	for i := range leaves {
+		leaves[i] = b.NewLabel()
+	}
+
+	dispL := b.NewLabel()
+	disp := b.Block(10)
+	b.Bind(dispL, disp)
+	roots := make([]Target, nSvc)
+	weights := make([]int, nSvc)
+	for i := 0; i < nSvc; i++ {
+		roots[i] = b.NewLabel()
+		weights[i] = int(1e6 / math.Pow(float64(i+1), 1.1))
+		if weights[i] < 1 {
+			weights[i] = 1
+		}
+	}
+	sel := b.Block(4)
+	sel.SwitchWeighted(roots, weights)
+	for i := 0; i < nSvc; i++ {
+		thunk := b.Block(2)
+		thunk.Call(entries[i])
+		back := b.Block(2)
+		back.Jump(dispL)
+		b.Bind(roots[i].(*Label), thunk)
+	}
+
+	b.Gap(32 * 1024)
+	for i := 0; i < nSvc; i++ {
+		entry := b.Block(16 + rng.Intn(16)*2)
+		b.Bind(entries[i], entry)
+		// Local work: a conditional or two.
+		nConds := 1 + rng.Intn(2)
+		for c := 0; c < nConds; c++ {
+			afterL := b.NewLabel()
+			blk := b.Block(6 + rng.Intn(6)*2)
+			blk.CondBias([]float64{0.1, 0.9, 0.85, 0.95}[rng.Intn(4)], afterL)
+			b.Block(4 + rng.Intn(4)*2) // island
+			after := b.Block(4)
+			b.Bind(afterL, after)
+		}
+		// One or two calls into the distant shared pool.
+		nCalls := 1 + rng.Intn(2)
+		for c := 0; c < nCalls; c++ {
+			pre := b.Block(6 + rng.Intn(6)*2)
+			if rng.Bool(0.3) {
+				pre.CallInd(leaves[rng.Intn(nLeaf)])
+			} else {
+				pre.Call(leaves[rng.Intn(nLeaf)])
+			}
+			b.Block(4) // continuation after return
+		}
+		ret := b.Block(2)
+		ret.Return()
+		b.Gap(32 + rng.Intn(32)*2)
+	}
+
+	// The shared infrastructure pool lives far away, so calls into it
+	// exceed the CRS distance threshold and its returns -- invoked from
+	// every service -- are the classic call/return pattern.
+	b.Gap(1 << 20)
+	for i := 0; i < nLeaf; i++ {
+		entry := b.Block(12 + rng.Intn(12)*2)
+		b.Bind(leaves[i], entry)
+		bodyL := b.NewLabel()
+		body := b.Block(8)
+		b.Bind(bodyL, body)
+		latch := b.Block(4)
+		// Long enough that the high-entropy dispatch history has
+		// scrolled out of the 17-deep GPV by the time the return's
+		// target is predicted.
+		latch.Loop(6+rng.Intn(6), bodyL)
+		ret := b.Block(2)
+		ret.Return()
+		b.Gap(256)
+	}
+
+	return NewExec(b.MustBuild(disp), seed+1)
+}
+
+// Mixed interleaves an LSPR context, a microservices context and a
+// loops context in coarse time slices, generating the context switches
+// that trigger proactive BTB2 searches and CTB tag mismatches.
+func Mixed(seed uint64) trace.Source {
+	return NewMultiplex([]trace.Source{
+		LSPR(seed, 1200, 1.0),
+		Microservices(seed + 7),
+		Loops(seed + 13),
+	}, 30000)
+}

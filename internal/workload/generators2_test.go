@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+
+	"zbp/internal/trace"
+	"zbp/internal/zarch"
+)
+
+func TestInterpreterDispatchIsPeriodic(t *testing.T) {
+	src := Interpreter(7)
+	recs := trace.Take(src, 120000)
+	checkProgramOrder(t, recs)
+
+	// The dispatch switch is the single hottest indirect branch.
+	counts := map[zarch.Addr]int{}
+	targets := map[zarch.Addr]map[zarch.Addr]bool{}
+	for _, r := range recs {
+		if r.Kind == zarch.KindUncondInd && r.Taken {
+			counts[r.Addr]++
+			if targets[r.Addr] == nil {
+				targets[r.Addr] = map[zarch.Addr]bool{}
+			}
+			targets[r.Addr][r.Target] = true
+		}
+	}
+	var hot zarch.Addr
+	for a, c := range counts {
+		if c > counts[hot] {
+			hot = a
+		}
+	}
+	if counts[hot] < 3000 {
+		t.Fatalf("dispatch executed only %d times", counts[hot])
+	}
+	if len(targets[hot]) < 10 {
+		t.Errorf("dispatch saw only %d handler targets", len(targets[hot]))
+	}
+
+	// The synthetic bytecode is a fixed looped program, so the target
+	// sequence of the dispatch must be periodic with period 300.
+	var seq []zarch.Addr
+	for _, r := range recs {
+		if r.Addr == hot && r.Taken {
+			seq = append(seq, r.Target)
+		}
+	}
+	period := 300
+	for i := period; i < len(seq); i++ {
+		if seq[i] != seq[i-period] {
+			t.Fatalf("dispatch sequence not periodic at %d", i)
+		}
+	}
+}
+
+func TestBTreeBimodalBranches(t *testing.T) {
+	src := BTree(9)
+	recs := trace.Take(src, 100000)
+	checkProgramOrder(t, recs)
+
+	// Key-compare branches are ~50/50; structural branches (loop latch,
+	// call, return) are near-deterministic.
+	dirs := map[zarch.Addr][2]int{} // [notTaken, taken]
+	for _, r := range recs {
+		if r.Kind == zarch.KindCondRel {
+			d := dirs[r.Addr]
+			if r.Taken {
+				d[1]++
+			} else {
+				d[0]++
+			}
+			dirs[r.Addr] = d
+		}
+	}
+	hard := 0
+	for _, d := range dirs {
+		total := d[0] + d[1]
+		if total < 100 {
+			continue
+		}
+		ratio := float64(d[1]) / float64(total)
+		if ratio > 0.35 && ratio < 0.65 {
+			hard++
+		}
+	}
+	if hard < 4 {
+		t.Errorf("hard compare branches = %d, want >= 4 (tree depth 6)", hard)
+	}
+
+	// Returns exist and pair with the far leaf call.
+	rets := 0
+	for _, r := range recs {
+		if r.Kind == zarch.KindUncondInd && r.Taken {
+			rets++
+		}
+	}
+	if rets < 500 {
+		t.Errorf("returns = %d", rets)
+	}
+}
+
+func TestNewWorkloadsInRegistry(t *testing.T) {
+	for _, name := range []string{"interp", "btree"} {
+		src, err := Make(name, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		recs := trace.Take(src, 5000)
+		if len(recs) != 5000 {
+			t.Fatalf("%s produced %d records", name, len(recs))
+		}
+		for i, r := range recs {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("%s record %d: %v", name, i, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"testing"
+
+	"zbp/internal/trace"
+	"zbp/internal/zarch"
+)
+
+func TestRegistryAllRunnable(t *testing.T) {
+	for name, mk := range Registry() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			src := mk(42)
+			recs := trace.Take(src, 20000)
+			if len(recs) != 20000 {
+				t.Fatalf("%s: produced only %d records", name, len(recs))
+			}
+			for i, r := range recs {
+				if err := r.Validate(); err != nil {
+					t.Fatalf("%s: record %d invalid: %v", name, i, err)
+				}
+			}
+			checkProgramOrder(t, recs)
+		})
+	}
+}
+
+func TestRegistryDeterministic(t *testing.T) {
+	for name, mk := range Registry() {
+		a := trace.Take(mk(7), 5000)
+		b := trace.Take(mk(7), 5000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: record %d differs between same-seed runs", name, i)
+			}
+		}
+	}
+}
+
+func TestRegistrySeedSensitivity(t *testing.T) {
+	// Different seeds must not produce identical branch outcome streams
+	// for workloads with random behaviour.
+	for _, name := range []string{"lspr-small", "micro"} {
+		mk := Registry()[name]
+		a := trace.Take(mk(1), 20000)
+		b := trace.Take(mk(2), 20000)
+		diff := false
+		for i := range a {
+			if a[i] != b[i] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Errorf("%s: seeds 1 and 2 produced identical traces", name)
+		}
+	}
+}
+
+func TestMakeUnknown(t *testing.T) {
+	if _, err := Make("no-such-workload", 1); err == nil {
+		t.Fatal("Make accepted unknown name")
+	}
+	if src, err := Make("loops", 1); err != nil || src == nil {
+		t.Fatalf("Make(loops) = %v, %v", src, err)
+	}
+}
+
+func TestNamesSortedComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(Registry()) {
+		t.Fatalf("Names() has %d entries, registry %d", len(names), len(Registry()))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+// statsFor computes trace stats over n records of a fresh workload.
+func statsFor(name string, n int) trace.Stats {
+	src, err := Make(name, 99)
+	if err != nil {
+		panic(err)
+	}
+	return trace.Collect(src, n)
+}
+
+func TestLSPRShape(t *testing.T) {
+	st := statsFor("lspr", 300000)
+	// Paper rules of thumb (§II.A): a branch roughly every 4-6
+	// instructions, average instruction length near 5 bytes, and a large
+	// code footprint.
+	if d := st.BranchDensity(); d < 2.5 || d > 9 {
+		t.Errorf("branch density = %.2f instr/branch, want ~4-6", d)
+	}
+	if l := st.AvgInstrLen(); l < 3.4 || l > 5.6 {
+		t.Errorf("avg instr len = %.2f, want ~4-5", l)
+	}
+	if st.Footprint < 2000 {
+		t.Errorf("footprint = %d 64B lines, want large", st.Footprint)
+	}
+	if st.DistinctBr < 2000 {
+		t.Errorf("distinct branches = %d, want thousands", st.DistinctBr)
+	}
+	if r := st.TakenRatio(); r < 0.35 || r > 0.95 {
+		t.Errorf("taken ratio = %.2f", r)
+	}
+	if st.Indirect == 0 {
+		t.Error("no indirect branches in LSPR")
+	}
+}
+
+func TestLoopsShape(t *testing.T) {
+	st := statsFor("loops", 100000)
+	if st.Footprint > 10 {
+		t.Errorf("loops footprint = %d lines, want tiny", st.Footprint)
+	}
+	if st.DistinctBr > 16 {
+		t.Errorf("loops distinct branches = %d", st.DistinctBr)
+	}
+}
+
+func TestLSPRFootprintScales(t *testing.T) {
+	small := trace.Collect(LSPR(5, 64, 1.0), 200000)
+	large := trace.Collect(LSPR(5, 1024, 1.0), 200000)
+	if large.DistinctBr <= small.DistinctBr {
+		t.Errorf("footprint did not scale: small=%d large=%d",
+			small.DistinctBr, large.DistinctBr)
+	}
+}
+
+func TestCallReturnHasFarCalls(t *testing.T) {
+	src, _ := Make("callret", 3)
+	recs := trace.Take(src, 50000)
+	farCalls, rets := 0, 0
+	for _, r := range recs {
+		if !r.IsBranch() || !r.Taken {
+			continue
+		}
+		d := int64(r.Target) - int64(r.Addr)
+		if d < 0 {
+			d = -d
+		}
+		if r.Kind == zarch.KindUncondRel && d > 64*1024 {
+			farCalls++
+		}
+		if r.Kind == zarch.KindUncondInd {
+			rets++
+		}
+	}
+	if farCalls < 100 {
+		t.Errorf("far calls = %d, want many", farCalls)
+	}
+	if rets < 100 {
+		t.Errorf("returns = %d, want many", rets)
+	}
+}
+
+func TestMixedSwitchesContexts(t *testing.T) {
+	src, _ := Make("mixed", 3)
+	recs := trace.Take(src, 200000)
+	seen := map[uint16]bool{}
+	switches := 0
+	for i, r := range recs {
+		seen[r.CtxID] = true
+		if i > 0 && r.CtxID != recs[i-1].CtxID {
+			switches++
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("contexts seen = %d, want 3", len(seen))
+	}
+	if switches < 5 {
+		t.Errorf("context switches = %d", switches)
+	}
+}
+
+func TestIndirectTargetsVary(t *testing.T) {
+	src, _ := Make("indirect", 3)
+	recs := trace.Take(src, 50000)
+	targets := map[zarch.Addr]map[zarch.Addr]bool{}
+	for _, r := range recs {
+		if r.Kind == zarch.KindUncondInd && r.Taken {
+			if targets[r.Addr] == nil {
+				targets[r.Addr] = map[zarch.Addr]bool{}
+			}
+			targets[r.Addr][r.Target] = true
+		}
+	}
+	multi := 0
+	for _, m := range targets {
+		if len(m) > 1 {
+			multi++
+		}
+	}
+	if multi < 3 {
+		t.Errorf("multi-target indirect branches = %d, want >= 3", multi)
+	}
+}

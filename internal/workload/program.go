@@ -1,0 +1,634 @@
+// Package workload synthesizes instruction traces with the control-flow
+// idioms the z15 branch predictor is built for: deeply warm loop nests,
+// shared functions with call/return-like branch pairs, multi-target
+// indirect branches, history-correlated conditionals, and LSPR-style
+// large-instruction-footprint transaction mixes (paper §I, §II).
+//
+// IBM's LSPR traces are proprietary, so this package is the substitute
+// substrate documented in DESIGN.md §5: a small program IR (basic
+// blocks wired with behavioral branches) plus an interpreter that emits
+// architecturally valid trace records. Every generator is seeded and
+// deterministic.
+package workload
+
+import (
+	"fmt"
+
+	"zbp/internal/hashx"
+	"zbp/internal/trace"
+	"zbp/internal/zarch"
+)
+
+// dirFn decides the direction of a conditional branch at execution time.
+type dirFn func(e *Exec) bool
+
+// chooseFn selects the taken-target among the block's resolved targets.
+type chooseFn func(e *Exec, targets []zarch.Addr) zarch.Addr
+
+// Target is anything that resolves to a block entry address at Build
+// time: a BlockRef (already-created block) or a *Label (forward
+// reference bound later).
+type Target interface {
+	resolve() (zarch.Addr, error)
+}
+
+// node is one laid-out basic block: zero or more pad instructions
+// followed by at most one branch.
+type node struct {
+	addr    zarch.Addr
+	padLens []uint8
+	end     zarch.Addr // address one past the last byte of the block
+
+	hasBranch bool
+	brAddr    zarch.Addr
+	brLen     uint8
+	brKind    zarch.BranchKind
+	dir       dirFn
+	choose    chooseFn
+	tgtRefs   []Target
+	tgtAddrs  []zarch.Addr // resolved at Build
+	isCall    bool         // push NSIA on the interpreter stack when taken
+	isReturn  bool         // target comes from the interpreter stack
+
+	fall int // node index executed when not taken / after fallthrough
+}
+
+// Program is an executable synthetic program.
+type Program struct {
+	nodes  []node
+	byAddr map[zarch.Addr]int
+	entry  int
+}
+
+// Blocks returns the number of basic blocks in the program.
+func (p *Program) Blocks() int { return len(p.nodes) }
+
+// Footprint returns the byte extent of the laid-out code.
+func (p *Program) Footprint() int {
+	if len(p.nodes) == 0 {
+		return 0
+	}
+	return int(p.nodes[len(p.nodes)-1].end - p.nodes[0].addr)
+}
+
+// Builder lays out blocks at monotonically increasing addresses and
+// wires branch behaviour between them. A block's branch must be wired
+// while the block is still the most recently created one (the branch
+// occupies layout space); branch *targets* may be forward references
+// via labels, resolved at Build.
+type Builder struct {
+	nodes  []node
+	cursor zarch.Addr
+	rng    *hashx.Rand
+	err    error
+	labels []*Label
+}
+
+// BlockRef names a created block.
+type BlockRef struct {
+	b   *Builder
+	idx int
+}
+
+// Addr returns the entry address of the block.
+func (r BlockRef) Addr() zarch.Addr { return r.b.nodes[r.idx].addr }
+
+func (r BlockRef) resolve() (zarch.Addr, error) { return r.Addr(), nil }
+
+// Label is a forward-declared branch target, bound to a block with
+// Builder.Bind before Build.
+type Label struct {
+	b     *Builder
+	bound int // node index, -1 until bound
+}
+
+func (l *Label) resolve() (zarch.Addr, error) {
+	if l.bound < 0 {
+		return 0, fmt.Errorf("workload: unbound label")
+	}
+	return l.b.nodes[l.bound].addr, nil
+}
+
+// NewBuilder returns a Builder placing code from base, with rng used
+// for pad-instruction length selection.
+func NewBuilder(base zarch.Addr, seed uint64) *Builder {
+	if base == 0 || !base.HalfwordAligned() {
+		panic("workload: builder base must be nonzero and halfword aligned")
+	}
+	return &Builder{cursor: base, rng: hashx.New(seed)}
+}
+
+// NewLabel declares a forward branch target.
+func (b *Builder) NewLabel() *Label {
+	l := &Label{b: b, bound: -1}
+	b.labels = append(b.labels, l)
+	return l
+}
+
+// Bind attaches label to blk.
+func (b *Builder) Bind(l *Label, blk BlockRef) {
+	if l.bound != -1 {
+		b.fail(fmt.Errorf("workload: label bound twice"))
+		return
+	}
+	l.bound = blk.idx
+}
+
+// Cursor moves the layout cursor forward to addr. Moving backward or to
+// a misaligned address is recorded as a build error.
+func (b *Builder) Cursor(addr zarch.Addr) {
+	if addr < b.cursor || !addr.HalfwordAligned() {
+		b.fail(fmt.Errorf("workload: bad cursor move %s -> %s", b.cursor, addr))
+		return
+	}
+	b.cursor = addr
+}
+
+// Gap advances the cursor by n bytes (rounded up to alignment).
+func (b *Builder) Gap(n int) { b.Cursor(b.cursor + zarch.Addr((n+1)&^1)) }
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Block creates a basic block with roughly padBytes of non-branch
+// instructions (instruction lengths drawn from {2,4,6}, averaging ~4-5
+// bytes as on real z code). The block initially has no branch; wire one
+// with the BlockRef terminator methods or leave it as a fallthrough.
+func (b *Builder) Block(padBytes int) BlockRef {
+	n := node{addr: b.cursor, fall: -1}
+	remaining := padBytes
+	for remaining >= 2 {
+		var ln uint8
+		switch remaining {
+		case 2:
+			ln = 2
+		case 4:
+			ln = 4
+		default:
+			ln = []uint8{2, 4, 4, 6, 6, 6}[b.rng.Intn(6)]
+			if int(ln) > remaining {
+				ln = uint8(remaining &^ 1)
+			}
+		}
+		n.padLens = append(n.padLens, ln)
+		remaining -= int(ln)
+	}
+	var size zarch.Addr
+	for _, l := range n.padLens {
+		size += zarch.Addr(l)
+	}
+	n.end = n.addr + size
+	b.cursor = n.end
+	b.nodes = append(b.nodes, n)
+	return BlockRef{b: b, idx: len(b.nodes) - 1}
+}
+
+// setBranch appends a branch to the block, which must still be the
+// most recently created one (its bytes sit right after the pads).
+func (r BlockRef) setBranch(kind zarch.BranchKind, ln uint8, dir dirFn, choose chooseFn, tgts ...Target) {
+	b := r.b
+	n := &b.nodes[r.idx]
+	if n.hasBranch {
+		b.fail(fmt.Errorf("workload: block at %s already has a branch", n.addr))
+		return
+	}
+	if r.idx != len(b.nodes)-1 {
+		b.fail(fmt.Errorf("workload: branch wired to non-current block at %s", n.addr))
+		return
+	}
+	n.hasBranch = true
+	n.brAddr = n.end
+	n.brLen = ln
+	n.brKind = kind
+	n.dir = dir
+	n.choose = choose
+	n.tgtRefs = tgts
+	n.end += zarch.Addr(ln)
+	b.cursor = n.end
+}
+
+func chooseFirst(_ *Exec, targets []zarch.Addr) zarch.Addr { return targets[0] }
+
+// Jump ends the block with an unconditional relative branch to target.
+func (r BlockRef) Jump(target Target) {
+	r.setBranch(zarch.KindUncondRel, 4,
+		func(*Exec) bool { return true }, chooseFirst, target)
+}
+
+// JumpInd ends the block with an unconditional indirect branch to a
+// single fixed target (e.g. a function pointer that never changes).
+func (r BlockRef) JumpInd(target Target) {
+	r.setBranch(zarch.KindUncondInd, 2,
+		func(*Exec) bool { return true }, chooseFirst, target)
+}
+
+// Loop ends the block with a count-based loop branch to target: taken
+// count-1 times, then not taken once, repeating. count must be >= 1.
+func (r BlockRef) Loop(count int, target Target) {
+	if count < 1 {
+		r.b.fail(fmt.Errorf("workload: Loop count %d < 1", count))
+		return
+	}
+	c := 0
+	r.setBranch(zarch.KindLoop, 4,
+		func(*Exec) bool {
+			c++
+			if c >= count {
+				c = 0
+				return false
+			}
+			return true
+		}, chooseFirst, target)
+}
+
+// CondPattern ends the block with a conditional relative branch whose
+// direction follows the repeating pattern (true = taken to target).
+func (r BlockRef) CondPattern(pattern []bool, target Target) {
+	if len(pattern) == 0 {
+		r.b.fail(fmt.Errorf("workload: empty CondPattern"))
+		return
+	}
+	pat := append([]bool(nil), pattern...)
+	i := 0
+	r.setBranch(zarch.KindCondRel, 4,
+		func(*Exec) bool {
+			v := pat[i]
+			i = (i + 1) % len(pat)
+			return v
+		}, chooseFirst, target)
+}
+
+// CondBias ends the block with a conditional relative branch taken with
+// probability p (using the interpreter's seeded rng).
+func (r BlockRef) CondBias(p float64, target Target) {
+	r.setBranch(zarch.KindCondRel, 4,
+		func(e *Exec) bool { return e.rng.Bool(p) }, chooseFirst, target)
+}
+
+// CondLag ends the block with a conditional branch whose direction
+// equals the outcome of the lag-th most recent conditional branch
+// (global history). Such branches defeat a plain BHT but are learnable
+// by history-indexed predictors (TAGE) and by the perceptron when the
+// correlation is a single sparse bit (paper §V).
+func (r BlockRef) CondLag(lag int, target Target) {
+	if lag < 1 || lag > histDepth {
+		r.b.fail(fmt.Errorf("workload: CondLag lag %d out of range", lag))
+		return
+	}
+	r.setBranch(zarch.KindCondRel, 4,
+		func(e *Exec) bool { return e.histBit(lag) }, chooseFirst, target)
+}
+
+// CondXOR ends the block with a conditional branch whose direction is
+// the XOR of the outcomes at the given history lags.
+func (r BlockRef) CondXOR(lags []int, target Target) {
+	for _, l := range lags {
+		if l < 1 || l > histDepth {
+			r.b.fail(fmt.Errorf("workload: CondXOR lag %d out of range", l))
+			return
+		}
+	}
+	ls := append([]int(nil), lags...)
+	r.setBranch(zarch.KindCondRel, 4,
+		func(e *Exec) bool {
+			v := false
+			for _, l := range ls {
+				v = v != e.histBit(l)
+			}
+			return v
+		}, chooseFirst, target)
+}
+
+// Call ends the block with an unconditional relative branch to target
+// that behaves like a call: the interpreter pushes the NSIA, and a
+// later Return pops it. The z/Architecture has no call instruction;
+// this reproduces the emergent pattern the CRS heuristic detects
+// (paper §VI).
+func (r BlockRef) Call(target Target) {
+	r.setBranch(zarch.KindUncondRel, 6,
+		func(*Exec) bool { return true }, chooseFirst, target)
+	r.b.nodes[r.idx].isCall = true
+}
+
+// CallInd is Call with an indirect branch (register-computed target).
+func (r BlockRef) CallInd(target Target) {
+	r.setBranch(zarch.KindUncondInd, 2,
+		func(*Exec) bool { return true }, chooseFirst, target)
+	r.b.nodes[r.idx].isCall = true
+}
+
+// Return ends the block with an unconditional indirect branch to the
+// most recent pushed NSIA (a z-style register return).
+func (r BlockRef) Return() {
+	r.setBranch(zarch.KindUncondInd, 2,
+		func(*Exec) bool { return true }, nil)
+	r.b.nodes[r.idx].isReturn = true
+}
+
+// TargetChooser selects among the targets of a multi-target branch.
+type TargetChooser uint8
+
+// Multi-target selection policies.
+const (
+	// ChooseRoundRobin cycles through targets in order.
+	ChooseRoundRobin TargetChooser = iota
+	// ChooseRandom selects uniformly at random.
+	ChooseRandom
+	// ChoosePath selects as a function of the recent taken-branch path,
+	// so a path-indexed predictor (CTB) can learn the mapping.
+	ChoosePath
+)
+
+// Switch ends the block with an unconditional indirect multi-target
+// branch over targets, selected per chooser.
+func (r BlockRef) Switch(targets []Target, chooser TargetChooser) {
+	if len(targets) == 0 {
+		r.b.fail(fmt.Errorf("workload: empty Switch"))
+		return
+	}
+	i := 0
+	r.setBranch(zarch.KindUncondInd, 2,
+		func(*Exec) bool { return true },
+		func(e *Exec, addrs []zarch.Addr) zarch.Addr {
+			switch chooser {
+			case ChooseRandom:
+				return addrs[e.rng.Intn(len(addrs))]
+			case ChoosePath:
+				// Correlate with the targets 4 and 11 taken-branches
+				// back: within a 17-deep path history (z14/z15 GPV) but
+				// beyond a 9-deep one (z13 and the pre-z15 CTB index) --
+				// the correlation depth that motivated the z15 CTB's
+				// move to the 17-branch GPV index (paper §VI).
+				k := uint64(e.recentTgt(4))>>4 ^ uint64(e.recentTgt(11))>>6
+				return addrs[int(k%uint64(len(addrs)))]
+			default:
+				a := addrs[i%len(addrs)]
+				i++
+				return a
+			}
+		}, targets...)
+}
+
+// SwitchWeighted ends the block with an unconditional indirect
+// multi-target branch whose targets are drawn randomly with the given
+// relative weights (e.g. Zipf-distributed transaction dispatch).
+func (r BlockRef) SwitchWeighted(targets []Target, weights []int) {
+	if len(targets) == 0 || len(targets) != len(weights) {
+		r.b.fail(fmt.Errorf("workload: SwitchWeighted needs matching non-empty targets/weights"))
+		return
+	}
+	cum := make([]int, len(weights))
+	total := 0
+	for i, w := range weights {
+		if w <= 0 {
+			r.b.fail(fmt.Errorf("workload: SwitchWeighted weight %d <= 0", w))
+			return
+		}
+		total += w
+		cum[i] = total
+	}
+	r.setBranch(zarch.KindUncondInd, 2,
+		func(*Exec) bool { return true },
+		func(e *Exec, addrs []zarch.Addr) zarch.Addr {
+			v := e.rng.Intn(total)
+			lo, hi := 0, len(cum)-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if cum[mid] <= v {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			return addrs[lo]
+		}, targets...)
+}
+
+// SetFall overrides the not-taken / fallthrough successor, which
+// defaults to the next block created. The successor's entry address
+// must equal this block's end address (checked at Build).
+func (r BlockRef) SetFall(next BlockRef) { r.b.nodes[r.idx].fall = next.idx }
+
+// Build validates the layout, resolves forward references and returns
+// the executable Program entered at entry.
+func (b *Builder) Build(entry BlockRef) (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.nodes) == 0 {
+		return nil, fmt.Errorf("workload: empty program")
+	}
+	p := &Program{
+		nodes:  append([]node(nil), b.nodes...),
+		byAddr: make(map[zarch.Addr]int, len(b.nodes)),
+		entry:  entry.idx,
+	}
+	for i := range p.nodes {
+		p.byAddr[p.nodes[i].addr] = i
+	}
+	for i := range p.nodes {
+		n := &p.nodes[i]
+		for _, ref := range n.tgtRefs {
+			a, err := ref.resolve()
+			if err != nil {
+				return nil, fmt.Errorf("workload: block at %s: %w", n.addr, err)
+			}
+			if _, ok := p.byAddr[a]; !ok {
+				return nil, fmt.Errorf("workload: block at %s targets non-block address %s", n.addr, a)
+			}
+			n.tgtAddrs = append(n.tgtAddrs, a)
+		}
+		if n.fall == -1 {
+			n.fall = i + 1
+		}
+		if n.isCall {
+			// The NSIA pushed by a call must itself be a block entry so
+			// the matching Return can resume there.
+			if _, ok := p.byAddr[n.end]; !ok {
+				return nil, fmt.Errorf("workload: call at %s has non-block NSIA %s", n.brAddr, n.end)
+			}
+		}
+		needsFall := !n.hasBranch || n.brKind.Conditional()
+		if needsFall {
+			if n.fall >= len(p.nodes) {
+				return nil, fmt.Errorf("workload: block at %s falls off the program", n.addr)
+			}
+			if p.nodes[n.fall].addr != n.end {
+				return nil, fmt.Errorf("workload: block at %s falls through to %s but successor is at %s",
+					n.addr, n.end, p.nodes[n.fall].addr)
+			}
+		}
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for generators whose
+// structure is statically correct.
+func (b *Builder) MustBuild(entry BlockRef) *Program {
+	p, err := b.Build(entry)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// histDepth is how many conditional-branch outcomes the interpreter
+// remembers for CondLag/CondXOR behaviours.
+const histDepth = 64
+
+// Exec interprets a Program, implementing trace.Source. Each Exec is an
+// independent architectural context with its own rng, call stack and
+// branch history.
+type Exec struct {
+	p   *Program
+	rng *hashx.Rand
+
+	cur    int // current node
+	padPos int // next pad instruction within the node
+	padAdr zarch.Addr
+
+	stack []zarch.Addr
+	hist  uint64 // bitvector of recent conditional outcomes, bit 0 newest
+	path  uint64 // folded taken-branch path
+	// tgtRing holds the most recent taken-branch targets; ChoosePath
+	// correlates with a couple of them at small lags -- shallow path
+	// history, the regime a GPV-indexed changing target buffer is built
+	// for (paper §VI).
+	tgtRing [8]zarch.Addr
+	tgtPos  int
+	ctx     uint16
+}
+
+// recentTgt returns the lag-th most recent taken-branch target (lag 1 =
+// newest).
+func (e *Exec) recentTgt(lag int) zarch.Addr {
+	return e.tgtRing[(e.tgtPos-(lag-1)+2*len(e.tgtRing))%len(e.tgtRing)]
+}
+
+// NewExec returns an interpreter over p with the given rng seed.
+func NewExec(p *Program, seed uint64) *Exec {
+	e := &Exec{p: p, rng: hashx.New(seed), cur: p.entry}
+	e.padAdr = p.nodes[p.entry].addr
+	return e
+}
+
+// SetCtx sets the context ID stamped on emitted records.
+func (e *Exec) SetCtx(ctx uint16) { e.ctx = ctx }
+
+func (e *Exec) histBit(lag int) bool { return e.hist>>(lag-1)&1 == 1 }
+
+func (e *Exec) pushHist(taken bool) {
+	e.hist <<= 1
+	if taken {
+		e.hist |= 1
+	}
+}
+
+func (e *Exec) enter(idx int) {
+	e.cur = idx
+	e.padPos = 0
+	e.padAdr = e.p.nodes[idx].addr
+}
+
+// Next implements trace.Source; the stream is unbounded.
+func (e *Exec) Next() (trace.Rec, bool) {
+	for {
+		n := &e.p.nodes[e.cur]
+		if e.padPos < len(n.padLens) {
+			ln := n.padLens[e.padPos]
+			r := trace.Rec{Addr: e.padAdr, Len: ln, CtxID: e.ctx}
+			e.padPos++
+			e.padAdr += zarch.Addr(ln)
+			return r, true
+		}
+		if n.hasBranch {
+			taken := n.dir(e)
+			var target zarch.Addr
+			if taken {
+				if n.isReturn {
+					if len(e.stack) > 0 {
+						target = e.stack[len(e.stack)-1]
+						e.stack = e.stack[:len(e.stack)-1]
+					} else {
+						// Defensive: structured generators never underflow.
+						target = e.p.nodes[e.p.entry].addr
+					}
+				} else {
+					target = n.choose(e, n.tgtAddrs)
+				}
+				if n.isCall {
+					e.stack = append(e.stack, n.brAddr+zarch.Addr(n.brLen))
+					if len(e.stack) > 256 {
+						// Bound runaway recursion in ill-formed generators.
+						e.stack = e.stack[1:]
+					}
+				}
+			}
+			if n.brKind.Conditional() {
+				e.pushHist(taken)
+			}
+			r := trace.Rec{
+				Addr: n.brAddr, Len: n.brLen, Kind: n.brKind,
+				Taken: taken, Target: target, CtxID: e.ctx,
+			}
+			if taken {
+				e.path = e.path<<7 ^ e.path>>57 ^ uint64(target)>>1
+				e.tgtPos = (e.tgtPos + 1) % len(e.tgtRing)
+				e.tgtRing[e.tgtPos] = target
+				idx, ok := e.p.byAddr[target]
+				if !ok {
+					// Return targets always land on block entries because
+					// calls terminate their blocks; anything else is a
+					// generator bug, so fail loudly.
+					panic(fmt.Sprintf("workload: branch at %s targets non-block %s", n.brAddr, target))
+				}
+				e.enter(idx)
+			} else {
+				e.enter(n.fall)
+			}
+			return r, true
+		}
+		// Pure fallthrough block: move on without emitting.
+		e.enter(n.fall)
+	}
+}
+
+// Multiplex round-robins between sources in fixed slices of records,
+// stamping each source's records with its index as CtxID. It models
+// coarse OS-style dispatching of independent address spaces and is how
+// context-switch-triggered BTB2 prefetch paths get exercised.
+type Multiplex struct {
+	srcs  []trace.Source
+	slice int
+	cur   int
+	left  int
+}
+
+// NewMultiplex interleaves srcs with the given slice length.
+func NewMultiplex(srcs []trace.Source, slice int) *Multiplex {
+	if len(srcs) == 0 || slice <= 0 {
+		panic("workload: NewMultiplex needs sources and a positive slice")
+	}
+	return &Multiplex{srcs: srcs, slice: slice, left: slice}
+}
+
+// Next implements trace.Source.
+func (m *Multiplex) Next() (trace.Rec, bool) {
+	for tries := 0; tries < len(m.srcs); tries++ {
+		if m.left == 0 {
+			m.cur = (m.cur + 1) % len(m.srcs)
+			m.left = m.slice
+		}
+		r, ok := m.srcs[m.cur].Next()
+		if ok {
+			m.left--
+			r.CtxID = uint16(m.cur)
+			return r, true
+		}
+		m.left = 0
+	}
+	return trace.Rec{}, false
+}
