@@ -10,11 +10,11 @@ build:
 vet:
 	go vet ./...
 
-test:
+test: vet
 	go test ./...
 
 race:
-	go test -race ./internal/tune/ ./internal/sim/
+	go test -race ./...
 
 bench:
 	go test -bench=. -benchmem .

@@ -22,14 +22,25 @@ import (
 const benchInstr = 200_000
 
 // benchRun simulates benchInstr instructions per iteration and returns
-// the last result.
+// the last result. The workload program is built once and rewound with
+// Reset between iterations, so the per-iteration allocation profile
+// reflects the simulator hot path, not program construction.
 func benchRun(b *testing.B, cfg sim.Config, wl string, seed uint64) sim.Result {
 	b.Helper()
+	b.ReportAllocs()
+	src, err := workload.Make(wl, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rst, canReset := src.(trace.Resetter)
 	var res sim.Result
 	for i := 0; i < b.N; i++ {
-		src, err := workload.Make(wl, seed)
-		if err != nil {
-			b.Fatal(err)
+		if i > 0 {
+			if canReset {
+				rst.Reset()
+			} else if src, err = workload.Make(wl, seed); err != nil {
+				b.Fatal(err)
+			}
 		}
 		res = sim.RunWorkload(cfg, src, benchInstr)
 	}
@@ -71,6 +82,7 @@ func takenPeriod(b *testing.B, cfg core.Config, smt2 bool) float64 {
 		return btb.Info{Addr: addr, Len: 4, Kind: zarch.KindUncondRel,
 			Target: target, BHT: sat.StrongT, Skoot: btb.SkootUnknown}
 	}
+	b.ReportAllocs()
 	var period float64
 	for i := 0; i < b.N; i++ {
 		c := core.New(cfg)
@@ -232,9 +244,14 @@ func BenchmarkSBHTPathology(b *testing.B) {
 			cfg.Core.Dir.SpecEntries = entries
 			cfg.Core.Dir.PHTEnabled = false
 			cfg.Core.Dir.PerceptronEnabled = false
+			b.ReportAllocs()
+			src := weakLoopSrc()
 			var res sim.Result
 			for i := 0; i < b.N; i++ {
-				res = sim.RunWorkload(cfg, weakLoopSrc(), benchInstr)
+				if i > 0 {
+					src.(trace.Resetter).Reset()
+				}
+				res = sim.RunWorkload(cfg, src, benchInstr)
 			}
 			b.ReportMetric(float64(res.Threads[0].DynWrongDir), "wrong-directions")
 		})
@@ -291,6 +308,7 @@ func BenchmarkCPREDPower(b *testing.B) {
 // white-box verification flow (not a paper figure; it keeps the
 // harness itself under performance scrutiny).
 func BenchmarkVerificationHarness(b *testing.B) {
+	b.ReportAllocs()
 	var rep verif.Report
 	for i := 0; i < b.N; i++ {
 		p := verif.DefaultParams(uint64(i + 1))

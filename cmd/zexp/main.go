@@ -6,13 +6,19 @@
 //	zexp                     # run everything at default scale
 //	zexp -exp mpki,fig4      # run selected experiments
 //	zexp -scale 2000000      # instructions per simulation
+//	zexp -parallel 4         # bound concurrent simulations (0 = all cores)
+//	zexp -cpuprofile cpu.pb  # write a pprof CPU profile
 //	zexp -list               # list experiment IDs
+//
+// Reports are byte-identical at every -parallel setting: the runner
+// pool preserves job order and each simulation owns its own state.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -21,13 +27,43 @@ import (
 
 func main() {
 	var (
-		ids   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		scale = flag.Int("scale", 1_000_000, "instructions per simulation run")
-		seed  = flag.Uint64("seed", 42, "workload seed")
-		seeds = flag.Int("seeds", 1, "seeds to average in the mpki experiment")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		ids      = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		scale    = flag.Int("scale", 1_000_000, "instructions per simulation run")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		seeds    = flag.Int("seeds", 1, "seeds to average in the mpki experiment")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = all cores); results are identical at any setting")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zexp:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "zexp:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "zexp:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "zexp:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range exp.All() {
@@ -55,7 +91,8 @@ func main() {
 	start := time.Now()
 	for _, e := range selected {
 		t0 := time.Now()
-		e.Run(exp.Options{W: os.Stdout, Scale: *scale, Seed: *seed, Seeds: *seeds})
+		e.Run(exp.Options{W: os.Stdout, Scale: *scale, Seed: *seed, Seeds: *seeds,
+			Parallelism: *parallel})
 		fmt.Printf("[%s done in %v]\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Printf("\nall done in %v\n", time.Since(start).Round(time.Millisecond))

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"zbp/internal/core"
 	"zbp/internal/dirpred"
@@ -24,18 +25,47 @@ import (
 
 func main() {
 	var (
-		wl     = flag.String("workload", "lspr", "workload name (see -listworkloads)")
-		wl2    = flag.String("workload2", "", "second thread's workload (SMT2 mode)")
-		tr     = flag.String("trace", "", "binary trace file instead of a generated workload")
-		cfgN   = flag.String("config", "z15", "machine config: zEC12, z13, z14, z15")
-		n      = flag.Int("n", 1_000_000, "instructions per thread")
-		seed   = flag.Uint64("seed", 42, "workload seed")
-		noIC   = flag.Bool("noicache", false, "disable the I-cache model")
-		noPref = flag.Bool("noprefetch", false, "disable BPL-driven prefetch")
-		asJSON = flag.Bool("json", false, "emit the full result as JSON")
-		lw     = flag.Bool("listworkloads", false, "list workloads and exit")
+		wl      = flag.String("workload", "lspr", "workload name (see -listworkloads)")
+		wl2     = flag.String("workload2", "", "second thread's workload (SMT2 mode)")
+		tr      = flag.String("trace", "", "binary trace file instead of a generated workload")
+		cfgN    = flag.String("config", "z15", "machine config: zEC12, z13, z14, z15")
+		n       = flag.Int("n", 1_000_000, "instructions per thread")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+		noIC    = flag.Bool("noicache", false, "disable the I-cache model")
+		noPref  = flag.Bool("noprefetch", false, "disable BPL-driven prefetch")
+		asJSON  = flag.Bool("json", false, "emit the full result as JSON")
+		lw      = flag.Bool("listworkloads", false, "list workloads and exit")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "zsim:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "zsim:", err)
+			}
+		}()
+	}
 
 	if *lw {
 		for _, name := range workload.Names() {

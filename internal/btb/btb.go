@@ -12,7 +12,6 @@ package btb
 
 import (
 	"fmt"
-	"sort"
 
 	"zbp/internal/hashx"
 	"zbp/internal/sat"
@@ -150,6 +149,12 @@ type Table struct {
 	tick     uint64
 	stats    Stats
 	observer func(Event)
+	// searchBuf/regionBuf are the reusable SearchLine/SearchRegion
+	// result buffers; searches run every cycle, so returning a fresh
+	// slice each time would dominate the simulator's allocation
+	// profile.
+	searchBuf []Hit
+	regionBuf []Info
 }
 
 // SetObserver registers a white-box observer of every table write
@@ -196,13 +201,17 @@ func (t *Table) offsetOf(addr zarch.Addr) uint16 {
 // SearchLine returns every valid tag-matching branch in the row of
 // line, sorted by offset (ascending), with addresses reconstructed from
 // the searched line. The matched ways are touched as most recently
-// used.
+// used. The returned slice aliases an internal buffer and is only
+// valid until the next SearchLine call on this table.
 func (t *Table) SearchLine(line zarch.Addr) []Hit {
 	t.stats.Searches++
 	line = t.geo.Line(line)
 	row := t.sets[t.row(line)]
 	tag := t.tagOf(line)
-	var hits []Hit
+	if t.searchBuf == nil {
+		t.searchBuf = make([]Hit, 0, t.geo.Ways)
+	}
+	hits := t.searchBuf[:0]
 	t.tick++
 	for w := range row {
 		e := &row[w]
@@ -221,12 +230,16 @@ func (t *Table) SearchLine(line zarch.Addr) []Hit {
 	}
 	if len(hits) > 0 {
 		t.stats.SearchHits++
-		sort.Slice(hits, func(i, j int) bool {
-			oi := uint64(hits[i].Addr) & uint64(t.geo.LineBytes()-1)
-			oj := uint64(hits[j].Addr) & uint64(t.geo.LineBytes()-1)
-			return oi < oj
-		})
+		// Insertion sort by offset: hits are bounded by associativity
+		// (a handful), and sort.Slice's closure would allocate.
+		mask := uint64(t.geo.LineBytes() - 1)
+		for i := 1; i < len(hits); i++ {
+			for j := i; j > 0 && uint64(hits[j].Addr)&mask < uint64(hits[j-1].Addr)&mask; j-- {
+				hits[j], hits[j-1] = hits[j-1], hits[j]
+			}
+		}
 	}
+	t.searchBuf = hits
 	return hits
 }
 
@@ -359,9 +372,10 @@ func (t *Table) LRUVictim(line zarch.Addr) (Info, bool) {
 // to maxBranches tag-matching entries; it models the bulk BTB2 search
 // that can return "up to 128 branches" (§III). Reconstructed addresses
 // use the searched lines. LRU is not touched (the BTB2's own recency is
-// not modeled beyond its LRU on install).
+// not modeled beyond its LRU on install). The returned slice aliases an
+// internal buffer and is only valid until the next SearchRegion call.
 func (t *Table) SearchRegion(from zarch.Addr, lines, maxBranches int) []Info {
-	var out []Info
+	out := t.regionBuf[:0]
 	line := t.geo.Line(from)
 	for l := 0; l < lines && len(out) < maxBranches; l++ {
 		row := t.sets[t.row(line)]
@@ -380,7 +394,15 @@ func (t *Table) SearchRegion(from zarch.Addr, lines, maxBranches int) []Info {
 		}
 		line += zarch.Addr(t.geo.LineBytes())
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	// Insertion sort by address: the scan appends in ascending line
+	// order, so the slice is already nearly sorted (only within-row way
+	// order can be off), and sort.Slice's closure would allocate.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Addr < out[j-1].Addr; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	t.regionBuf = out
 	return out
 }
 

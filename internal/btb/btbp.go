@@ -15,6 +15,9 @@ type Preload struct {
 	entries []pentry
 	tick    uint64
 	stats   PreloadStats
+	// searchBuf is the reusable SearchLine result buffer (searched
+	// every cycle on pre-z15 configurations).
+	searchBuf []Info
 }
 
 type pentry struct {
@@ -70,10 +73,11 @@ func (p *Preload) Install(info Info) (victim Info, evicted bool) {
 
 // SearchLine returns the branches in the given line (by true address;
 // the BTBP is small enough that the model gives it full tags), sorted
-// by address.
+// by address. The returned slice aliases an internal buffer and is
+// only valid until the next SearchLine call.
 func (p *Preload) SearchLine(line zarch.Addr, lineBytes int) []Info {
 	base := line &^ zarch.Addr(lineBytes-1)
-	var out []Info
+	out := p.searchBuf[:0]
 	for i := range p.entries {
 		e := &p.entries[i]
 		if e.valid && e.info.Addr >= base && e.info.Addr < base+zarch.Addr(lineBytes) {
@@ -90,6 +94,7 @@ func (p *Preload) SearchLine(line zarch.Addr, lineBytes int) []Info {
 	if len(out) > 0 {
 		p.stats.Hits++
 	}
+	p.searchBuf = out
 	return out
 }
 

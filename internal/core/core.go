@@ -129,6 +129,10 @@ type Core struct {
 	btb2ReadyAt      int64
 	stats            Stats
 
+	// mergedBuf is the reusable per-search merge buffer of BTB1+BTBP
+	// hits; issueSearch runs every cycle and must not allocate.
+	mergedBuf []mhit
+
 	// searchHook, when set, observes every b0 index (thread, line).
 	// The simulator wires it to the I-cache prefetcher: the lookahead
 	// search stream is the instruction prefetch stream (§IV).
@@ -185,7 +189,9 @@ func New(cfg Config) *Core {
 		c.threads[t].gpvSpec = history.New(cfg.GPVDepth)
 		c.threads[t].gpvArch = history.New(cfg.GPVDepth)
 		c.threads[t].firstHitSearch = -1
+		c.threads[t].predQ = make([]Prediction, 0, cfg.PredQueueCap)
 	}
+	c.writeQ = make([]btb.Info, 0, cfg.WriteQueueCap)
 	return c
 }
 
@@ -408,12 +414,8 @@ func (c *Core) issueSearch(t int) {
 		c.searchHook(t, line)
 	}
 
-	type mhit struct {
-		btb.Hit
-		fromBTBP bool
-	}
 	hits := c.btb1.SearchLine(line)
-	var merged []mhit
+	merged := c.mergedBuf[:0]
 	for _, h := range hits {
 		if h.Addr-line >= fromOff {
 			merged = append(merged, mhit{Hit: h})
@@ -441,6 +443,8 @@ func (c *Core) issueSearch(t int) {
 			}
 		}
 	}
+
+	c.mergedBuf = merged
 
 	anyHit := len(merged) > 0
 	if anyHit && th.firstHitSearch < 0 {
@@ -604,6 +608,12 @@ func (c *Core) finishStream(t int, b0 int64, h *btb.Hit, pred *Prediction) {
 	th.noPredRun = 0
 	th.searchAddr = start
 	c.enterStream(t, start, skip, pred.Addr, true)
+}
+
+// mhit is one merged search hit: a BTB1 hit or a BTBP-provided entry.
+type mhit struct {
+	btb.Hit
+	fromBTBP bool
 }
 
 // neededBy returns the power needs implied by the stream-exiting

@@ -11,9 +11,9 @@ import (
 
 	"zbp/internal/btb"
 	"zbp/internal/core"
+	"zbp/internal/runner"
 	"zbp/internal/sat"
 	"zbp/internal/sim"
-	"zbp/internal/workload"
 	"zbp/internal/zarch"
 )
 
@@ -28,6 +28,10 @@ type Options struct {
 	// Seeds is the number of workload seeds the headline experiment
 	// averages over (default 1); more seeds reduce layout luck.
 	Seeds int
+	// Parallelism bounds concurrent simulations within an experiment
+	// (0 = all cores). Results are identical at any setting: the
+	// runner pool is deterministic and order-preserving.
+	Parallelism int
 }
 
 func (o Options) seeds() int {
@@ -80,13 +84,22 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// runOn simulates n instructions of the named workload on cfg.
-func runOn(cfg sim.Config, name string, seed uint64, n int) sim.Result {
-	src, err := workload.Make(name, seed)
-	if err != nil {
-		panic(err)
+// job builds one pool job for the named workload at experiment scale.
+func job(o Options, cfg sim.Config, name string, seed uint64) runner.Job {
+	return runner.Job{
+		Name:         name,
+		Config:       cfg,
+		Source:       runner.Workload(name, seed),
+		Instructions: o.scale(),
 	}
-	return sim.RunWorkload(cfg, src, n)
+}
+
+// runBatch fans jobs out across the experiment's runner pool and
+// returns results in job order; a failed job (unknown workload, model
+// bug) panics, matching runOn.
+func runBatch(o Options, jobs []runner.Job) []sim.Result {
+	pool := runner.Pool{Parallelism: o.Parallelism}
+	return runner.Results(pool.Run(jobs))
 }
 
 // header prints a section banner.

@@ -6,6 +6,7 @@ import (
 	"zbp/internal/core"
 	"zbp/internal/dirpred"
 	"zbp/internal/metrics"
+	"zbp/internal/runner"
 	"zbp/internal/sim"
 	"zbp/internal/trace"
 	"zbp/internal/workload"
@@ -49,10 +50,16 @@ func E1Table1(o Options) {
 
 	fmt.Fprintf(o.W, "\nBTB1 capacity sweep (z15 otherwise, workload lspr, %d instructions):\n", o.scale())
 	sweep := metrics.NewTable("BTB1 entries", "MPKI", "surprises", "accuracy")
-	for _, rowBits := range []uint{7, 8, 9, 10, 11} {
+	rowBitses := []uint{7, 8, 9, 10, 11}
+	jobs := make([]runner.Job, len(rowBitses))
+	for i, rowBits := range rowBitses {
 		cfg := sim.Z15()
 		cfg.Core.BTB1.RowBits = rowBits
-		res := runOn(cfg, "lspr", o.Seed, o.scale())
+		jobs[i] = job(o, cfg, "lspr", o.Seed)
+	}
+	for i, res := range runBatch(o, jobs) {
+		cfg := sim.Z15()
+		cfg.Core.BTB1.RowBits = rowBitses[i]
 		sweep.Row(cfg.Core.BTB1.Capacity(), res.MPKI(), res.Threads[0].Surprises,
 			fmt.Sprintf("%.4f", res.Accuracy()))
 	}
@@ -70,8 +77,13 @@ func E2Restart(o Options) {
 	fmt.Fprintf(o.W, "configured: restart=%d cycles, queue refill=+%d (paper: 26, up to +10, ~35 statistical)\n\n",
 		cfg.Front.RestartPenalty, cfg.Front.QueueRefillPenalty)
 	tab := metrics.NewTable("workload", "mispredicts", "restart stall cyc", "stall/mispredict", "IPC")
-	for _, name := range []string{"lspr", "micro", "indirect"} {
-		res := runOn(cfg, name, o.Seed, o.scale())
+	names := []string{"lspr", "micro", "indirect"}
+	jobs := make([]runner.Job, len(names))
+	for i, name := range names {
+		jobs[i] = job(o, cfg, name, o.Seed)
+	}
+	for i, res := range runBatch(o, jobs) {
+		name := names[i]
 		t := res.Threads[0]
 		events := t.DynWrongDir + t.DynWrongTarget + t.SurpriseWrong +
 			t.SurpriseTakenRel + t.SurpriseTakenInd + t.BadPredictions
@@ -112,12 +124,16 @@ func E4Fig5(o Options) {
 
 	fmt.Fprintf(o.W, "\nSKOOT search savings (workload lspr, %d instructions):\n", o.scale())
 	skootTab := metrics.NewTable("SKOOT", "searches", "no-pred searches", "lines skipped", "searches/instr")
-	for _, on := range []bool{true, false} {
+	settings := []bool{true, false}
+	jobs := make([]runner.Job, len(settings))
+	for i, on := range settings {
 		cfg := sim.Z15()
 		cfg.Core.SkootEnabled = on
-		res := runOn(cfg, "lspr", o.Seed, o.scale())
+		jobs[i] = job(o, cfg, "lspr", o.Seed)
+	}
+	for i, res := range runBatch(o, jobs) {
 		label := "off"
-		if on {
+		if settings[i] {
 			label = "on"
 		}
 		skootTab.Row(label, res.Core.Searches, res.Core.NoPredSearches,
@@ -133,9 +149,13 @@ func E4Fig5(o Options) {
 func E5Fig8(o Options) {
 	e, _ := ByID("fig8")
 	header(o.W, e)
-	for _, name := range []string{"patterned", "lspr"} {
-		res := runOn(sim.Z15(), name, o.Seed, o.scale())
-		fmt.Fprintf(o.W, "workload %s:\n", name)
+	names := []string{"patterned", "lspr"}
+	jobs := make([]runner.Job, len(names))
+	for i, name := range names {
+		jobs[i] = job(o, sim.Z15(), name, o.Seed)
+	}
+	for i, res := range runBatch(o, jobs) {
+		fmt.Fprintf(o.W, "workload %s:\n", names[i])
 		tab := metrics.NewTable("provider", "issued", "share", "accuracy")
 		var total int64
 		for _, v := range res.Dir.Issued {
@@ -160,11 +180,15 @@ func E6Fig9(o Options) {
 	e, _ := ByID("fig9")
 	header(o.W, e)
 	providers := []string{"btb", "ctb", "crs"}
-	for _, name := range []string{"callret", "indirect", "lspr"} {
-		res := runOn(sim.Z15(), name, o.Seed, o.scale())
+	names := []string{"callret", "indirect", "lspr"}
+	jobs := make([]runner.Job, len(names))
+	for i, name := range names {
+		jobs[i] = job(o, sim.Z15(), name, o.Seed)
+	}
+	for j, res := range runBatch(o, jobs) {
 		t := res.Threads[0]
 		fmt.Fprintf(o.W, "workload %s (returns marked: %d, blacklists: %d, amnesties: %d):\n",
-			name, res.Tgt.ReturnsMarked, res.Tgt.Blacklists, res.Tgt.Amnesties)
+			names[j], res.Tgt.ReturnsMarked, res.Tgt.Blacklists, res.Tgt.Amnesties)
 		tab := metrics.NewTable("provider", "taken predictions", "wrong target", "wrong rate")
 		for i, p := range providers {
 			if t.TgtProvided[i] == 0 {
@@ -188,13 +212,25 @@ func E7MPKI(o Options) {
 	if o.seeds() > 1 {
 		fmt.Fprintf(o.W, "averaging over %d workload seeds per cell.\n\n", o.seeds())
 	}
-	perGen := map[string][]float64{}
+	// The full matrix (generations x workloads x seeds) is one flat
+	// batch, so the pool keeps every core busy across cell boundaries.
+	var jobs []runner.Job
 	for _, gen := range core.Generations() {
 		for _, name := range names {
+			for k := 0; k < o.seeds(); k++ {
+				jobs = append(jobs, job(o, sim.ForGeneration(gen), name, o.Seed+uint64(k)*101))
+			}
+		}
+	}
+	results := runBatch(o, jobs)
+	perGen := map[string][]float64{}
+	idx := 0
+	for _, gen := range core.Generations() {
+		for range names {
 			sum := 0.0
 			for k := 0; k < o.seeds(); k++ {
-				res := runOn(sim.ForGeneration(gen), name, o.Seed+uint64(k)*101, o.scale())
-				sum += res.MPKI()
+				sum += results[idx].MPKI()
+				idx++
 			}
 			perGen[gen.Name] = append(perGen[gen.Name], sum/float64(o.seeds()))
 		}
@@ -241,12 +277,15 @@ func E8BTB2(o Options) {
 	section := func(title, wl string, rowBits uint) {
 		fmt.Fprintf(o.W, "%s (workload %s, %d instructions):\n", title, wl, o.scale())
 		tab := metrics.NewTable("configuration", "surprises", "MPKI", "IPC", "backfill triggers", "refresh writes")
-		for _, v := range variants {
+		jobs := make([]runner.Job, len(variants))
+		for i, v := range variants {
 			cfg := sim.Z15()
 			cfg.Core.BTB1.RowBits = rowBits
 			v.mod(&cfg)
-			res := runOn(cfg, wl, o.Seed, o.scale())
-			tab.Row(v.name, res.Threads[0].Surprises, fmt.Sprintf("%.2f", res.MPKI()),
+			jobs[i] = job(o, cfg, wl, o.Seed)
+		}
+		for i, res := range runBatch(o, jobs) {
+			tab.Row(variants[i].name, res.Threads[0].Surprises, fmt.Sprintf("%.2f", res.MPKI()),
 				fmt.Sprintf("%.2f", res.IPC()),
 				res.Core.BTB2MissTriggers, res.Core.RefreshWrites)
 		}
@@ -268,19 +307,28 @@ func E9Prefetch(o Options) {
 	e, _ := ByID("prefetch")
 	header(o.W, e)
 	tab := metrics.NewTable("workload", "prefetch", "fetch stall cyc", "IPC", "useful prefetches", "L1 hit rate")
+	type cell struct {
+		name string
+		on   bool
+	}
+	var cells []cell
+	var jobs []runner.Job
 	for _, name := range []string{"lspr", "lspr-large", "micro"} {
 		for _, on := range []bool{true, false} {
 			cfg := sim.Z15()
 			cfg.Prefetch = on
-			res := runOn(cfg, name, o.Seed, o.scale())
-			label := "off"
-			if on {
-				label = "on"
-			}
-			tab.Row(name, label, res.Threads[0].FetchStall,
-				fmt.Sprintf("%.2f", res.IPC()), res.IC.PrefetchUseful,
-				metrics.Pct(res.IC.L1Hits, res.IC.Accesses))
+			cells = append(cells, cell{name, on})
+			jobs = append(jobs, job(o, cfg, name, o.Seed))
 		}
+	}
+	for i, res := range runBatch(o, jobs) {
+		label := "off"
+		if cells[i].on {
+			label = "on"
+		}
+		tab.Row(cells[i].name, label, res.Threads[0].FetchStall,
+			fmt.Sprintf("%.2f", res.IPC()), res.IC.PrefetchUseful,
+			metrics.Pct(res.IC.L1Hits, res.IC.Accesses))
 	}
 	tab.Render(o.W)
 	fmt.Fprintln(o.W, "\nexpected shape: prefetch removes most fetch-stall cycles on large footprints.")
@@ -298,7 +346,7 @@ func E10SBHT(o Options) {
 	fmt.Fprintln(o.W, "PHT absorbing most of the exposure once the branch turns bidirectional.")
 	fmt.Fprintln(o.W)
 	tab := metrics.NewTable("configuration", "MPKI", "dyn wrong direction", "accuracy")
-	for _, v := range []struct {
+	variants := []struct {
 		label   string
 		entries int
 		auxOff  bool
@@ -307,16 +355,28 @@ func E10SBHT(o Options) {
 		{"BHT only, SBHT disabled", 0, true},
 		{"full z15, SBHT/SPHT 8 entries", 8, false},
 		{"full z15, SBHT/SPHT disabled", 0, false},
-	} {
+	}
+	// The pathological workload is built per job, not per experiment: a
+	// SourceSpec gives every worker its own stream state.
+	jobs := make([]runner.Job, len(variants))
+	for i, v := range variants {
 		cfg := sim.Z15()
 		cfg.Core.Dir.SpecEntries = v.entries
 		if v.auxOff {
 			cfg.Core.Dir.PHTEnabled = false
 			cfg.Core.Dir.PerceptronEnabled = false
 		}
-		src := weakLoop(o.Seed)
-		res := sim.RunWorkload(cfg, src, o.scale())
-		tab.Row(v.label, fmt.Sprintf("%.2f", res.MPKI()), res.Threads[0].DynWrongDir,
+		jobs[i] = runner.Job{
+			Name:   v.label,
+			Config: cfg,
+			Source: func() ([]trace.Source, error) {
+				return []trace.Source{weakLoop(o.Seed)}, nil
+			},
+			Instructions: o.scale(),
+		}
+	}
+	for i, res := range runBatch(o, jobs) {
+		tab.Row(variants[i].label, fmt.Sprintf("%.2f", res.MPKI()), res.Threads[0].DynWrongDir,
 			fmt.Sprintf("%.4f", res.Accuracy()))
 	}
 	tab.Render(o.W)
@@ -364,18 +424,21 @@ func E11Ablation(o Options) {
 		}},
 	}
 	tab := metrics.NewTable("variant", "MPKI", "delta vs full", "IPC")
-	var base float64
+	jobs := make([]runner.Job, len(variants))
 	for i, v := range variants {
 		cfg := sim.Z15()
 		v.mod(&cfg)
-		res := runOn(cfg, "mixed", o.Seed, o.scale())
+		jobs[i] = job(o, cfg, "mixed", o.Seed)
+	}
+	var base float64
+	for i, res := range runBatch(o, jobs) {
 		m := res.MPKI()
 		if i == 0 {
 			base = m
-			tab.Row(v.name, fmt.Sprintf("%.2f", m), "--", fmt.Sprintf("%.2f", res.IPC()))
+			tab.Row(variants[i].name, fmt.Sprintf("%.2f", m), "--", fmt.Sprintf("%.2f", res.IPC()))
 			continue
 		}
-		tab.Row(v.name, fmt.Sprintf("%.2f", m), metrics.Delta(base, m), fmt.Sprintf("%.2f", res.IPC()))
+		tab.Row(variants[i].name, fmt.Sprintf("%.2f", m), metrics.Delta(base, m), fmt.Sprintf("%.2f", res.IPC()))
 	}
 	tab.Render(o.W)
 	fmt.Fprintln(o.W, "\nexpected shape: every removal costs MPKI or IPC; the PHT is the largest single direction contributor.")
@@ -387,10 +450,14 @@ func E12Power(o Options) {
 	e, _ := ByID("power")
 	header(o.W, e)
 	tab := metrics.NewTable("workload", "searches", "PHT gated", "perceptron gated", "CTB gated", "CPRED hit rate")
-	for _, name := range []string{"loops", "patterned", "lspr", "micro"} {
-		res := runOn(sim.Z15(), name, o.Seed, o.scale())
+	names := []string{"loops", "patterned", "lspr", "micro"}
+	jobs := make([]runner.Job, len(names))
+	for i, name := range names {
+		jobs[i] = job(o, sim.Z15(), name, o.Seed)
+	}
+	for i, res := range runBatch(o, jobs) {
 		s := res.Core.Searches
-		tab.Row(name, s,
+		tab.Row(names[i], s,
 			metrics.Pct(res.Core.PowerGatedPHT, s),
 			metrics.Pct(res.Core.PowerGatedPerc, s),
 			metrics.Pct(res.Core.PowerGatedCTB, s),

@@ -102,12 +102,15 @@ func (s Stats) MPKI() float64 {
 
 // Thread is one hardware thread's front end.
 type Thread struct {
-	cfg  Config
-	id   int
-	c    *core.Core
-	ic   *icache.Hierarchy
-	src  trace.Source
-	peek *trace.Rec
+	cfg Config
+	id  int
+	c   *core.Core
+	ic  *icache.Hierarchy
+	src trace.Source
+	// peek is the one-record lookahead buffer; kept by value so the
+	// per-instruction next/consume cycle never heap-allocates.
+	peek     trace.Rec
+	havePeek bool
 
 	epoch  uint64
 	stream uint64
@@ -145,19 +148,18 @@ func (f *Thread) Stats() Stats {
 func (f *Thread) Done() bool { return f.done }
 
 func (f *Thread) next() (trace.Rec, bool) {
-	if f.peek != nil {
-		r := *f.peek
-		return r, true
+	if f.havePeek {
+		return f.peek, true
 	}
 	r, ok := f.src.Next()
 	if !ok {
 		return trace.Rec{}, false
 	}
-	f.peek = &r
+	f.peek, f.havePeek = r, true
 	return r, true
 }
 
-func (f *Thread) consume() { f.peek = nil }
+func (f *Thread) consume() { f.havePeek = false }
 
 // restart flushes the pipeline: penalty cycles, BPL restart at addr,
 // stream bookkeeping reset.

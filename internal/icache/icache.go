@@ -11,6 +11,7 @@ package icache
 
 import (
 	"fmt"
+	"sort"
 
 	"zbp/internal/zarch"
 )
@@ -141,7 +142,13 @@ type Hierarchy struct {
 	cfg      Config
 	l1, l2   *level
 	inflight map[zarch.Addr]int64 // line -> ready cycle
+	tickBuf  []pendingFill        // scratch for Tick retirement
 	stats    Stats
+}
+
+type pendingFill struct {
+	line  zarch.Addr
+	ready int64
 }
 
 // New builds a hierarchy for cfg.
@@ -220,14 +227,27 @@ func (h *Hierarchy) Prefetch(addr zarch.Addr, now int64) {
 }
 
 // Tick retires completed in-flight fills (bounds the map size on long
-// runs).
+// runs). Completed lines retire in (ready, address) order: filling
+// straight out of the map range would let its iteration order pick LRU
+// victims, making otherwise-identical runs diverge.
 func (h *Hierarchy) Tick(now int64) {
 	if len(h.inflight) < 1024 {
 		return
 	}
+	done := h.tickBuf[:0]
 	for line, ready := range h.inflight {
 		if ready <= now {
-			h.finishFill(line, ready)
+			done = append(done, pendingFill{line, ready})
 		}
 	}
+	sort.Slice(done, func(a, b int) bool {
+		if done[a].ready != done[b].ready {
+			return done[a].ready < done[b].ready
+		}
+		return done[a].line < done[b].line
+	})
+	for _, f := range done {
+		h.finishFill(f.line, f.ready)
+	}
+	h.tickBuf = done
 }

@@ -1,0 +1,176 @@
+// Package runner is the shared fan-out engine for simulation
+// campaigns. Every result in this repository — the E1..E12
+// reproductions, the §VII tuning studies, the grid tests — is built
+// from dozens to hundreds of *independent* trace-driven simulations
+// (generation × workload × seed × design point). A Pool runs such a
+// batch across a bounded set of workers with deterministic,
+// order-preserving aggregation: because every job constructs its own
+// sources and predictor state, parallel and serial execution produce
+// byte-identical results (enforced by TestPoolDeterminism).
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"zbp/internal/sim"
+	"zbp/internal/trace"
+	"zbp/internal/workload"
+)
+
+// SourceSpec builds the per-thread trace sources for one job. It is a
+// factory, not a source: it is invoked inside the worker so each job
+// gets fresh, independent stream state no matter which worker runs it
+// or in what order.
+type SourceSpec func() ([]trace.Source, error)
+
+// Workload returns a SourceSpec for a single-threaded run of the named
+// generated workload.
+func Workload(name string, seed uint64) SourceSpec {
+	return func() ([]trace.Source, error) {
+		src, err := workload.Make(name, seed)
+		if err != nil {
+			return nil, err
+		}
+		return []trace.Source{src}, nil
+	}
+}
+
+// SMT2 returns a SourceSpec running two named workloads, one per
+// hardware thread.
+func SMT2(nameA string, seedA uint64, nameB string, seedB uint64) SourceSpec {
+	return func() ([]trace.Source, error) {
+		a, err := workload.Make(nameA, seedA)
+		if err != nil {
+			return nil, err
+		}
+		b, err := workload.Make(nameB, seedB)
+		if err != nil {
+			return nil, err
+		}
+		return []trace.Source{a, b}, nil
+	}
+}
+
+// Job is one independent simulation: a configuration, the source
+// factory, and a per-thread instruction budget.
+type Job struct {
+	// Name labels the job in errors and reports.
+	Name string
+	// Config is the full simulation setup (copied by value; jobs never
+	// share mutable state).
+	Config sim.Config
+	// Source builds the per-thread traces inside the worker.
+	Source SourceSpec
+	// Instructions bounds each thread's trace (0 = unbounded; the
+	// sources must then terminate on their own).
+	Instructions int
+}
+
+// Result pairs one job with its outcome. Err is non-nil if the source
+// factory failed or the simulation panicked; Res is the zero value in
+// that case.
+type Result struct {
+	Name string
+	Res  sim.Result
+	Err  error
+}
+
+// Pool is a bounded worker-pool simulation runner. The zero value is
+// ready to use and runs on all cores.
+type Pool struct {
+	// Parallelism bounds concurrent simulations; <=0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// workers returns the effective worker count for n jobs.
+func (p *Pool) workers(n int) int {
+	w := p.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes every job and returns results in job order. Results are
+// identical regardless of Parallelism: each worker writes only its
+// job's slot and each job builds all of its own state. A panic inside
+// a job (model live-lock, bad workload) is captured into that job's
+// Err; the pool always drains all jobs.
+func (p *Pool) Run(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := p.workers(len(jobs)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single job, converting panics into errors so one
+// bad design point cannot take down a whole campaign.
+func runOne(job Job) (res Result) {
+	res.Name = job.Name
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("runner: job %q panicked: %v", job.Name, r)
+		}
+	}()
+	if job.Source == nil {
+		res.Err = fmt.Errorf("runner: job %q has no source", job.Name)
+		return res
+	}
+	srcs, err := job.Source()
+	if err != nil {
+		res.Err = fmt.Errorf("runner: job %q: %w", job.Name, err)
+		return res
+	}
+	if job.Instructions > 0 {
+		for i, src := range srcs {
+			srcs[i] = trace.Limit(src, job.Instructions)
+		}
+	}
+	res.Res = sim.New(job.Config, srcs).Run(0)
+	return res
+}
+
+// Run executes jobs on a default all-cores pool.
+func Run(jobs []Job) []Result {
+	return (&Pool{}).Run(jobs)
+}
+
+// Results unwraps a batch, panicking on the first error. Experiment
+// and study drivers use it where a failed simulation indicates a
+// programming error (unknown workload, model bug) rather than a
+// recoverable condition.
+func Results(rs []Result) []sim.Result {
+	out := make([]sim.Result, len(rs))
+	for i, r := range rs {
+		if r.Err != nil {
+			panic(r.Err)
+		}
+		out[i] = r.Res
+	}
+	return out
+}

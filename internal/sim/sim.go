@@ -137,7 +137,7 @@ func New(cfg Config, srcs []trace.Source) *Sim {
 	if len(srcs) < 1 || len(srcs) > core.MaxThreads {
 		panic(fmt.Sprintf("sim: need 1..%d sources, got %d", core.MaxThreads, len(srcs)))
 	}
-	s := &Sim{cfg: cfg, core: core.New(cfg.Core)}
+	s := &Sim{cfg: cfg, core: core.New(cfg.Core), threads: make([]*frontend.Thread, 0, len(srcs))}
 	if cfg.ICache != nil {
 		s.ic = icache.New(*cfg.ICache)
 		if cfg.Prefetch {
@@ -210,6 +210,7 @@ func (s *Sim) result() Result {
 		Tgt:    s.core.TgtStats(),
 		CPred:  s.core.CPredStats(),
 	}
+	res.Threads = make([]frontend.Stats, 0, len(s.threads))
 	for _, t := range s.threads {
 		res.Threads = append(res.Threads, t.Stats())
 	}

@@ -68,6 +68,14 @@ type Source interface {
 	Next() (Rec, bool)
 }
 
+// Resetter is implemented by sources that can rewind to their initial
+// state, replaying the identical record stream. Benchmarks and repeated
+// studies use it to reuse an expensively built source instead of
+// rebuilding it per run.
+type Resetter interface {
+	Reset()
+}
+
 // SliceSource adapts an in-memory record slice to a Source.
 type SliceSource struct {
 	recs []Rec

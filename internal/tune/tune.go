@@ -11,13 +11,11 @@ package tune
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
+	"zbp/internal/runner"
 	"zbp/internal/sim"
-	"zbp/internal/trace"
 	"zbp/internal/workload"
 )
 
@@ -130,57 +128,54 @@ func (s *Study) Run() []Outcome {
 	if score == nil {
 		score = func(mpki, ipc float64) float64 { return ipc - mpki/100 }
 	}
-	par := s.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
 
+	// One job per (design point, workload) cell: the pool is fed the
+	// whole study at once, so a point with one slow workload does not
+	// idle a worker, and the bounded pool replaces the old
+	// goroutine-per-point fan-out.
 	pts := s.points()
-	outcomes := make([]Outcome, len(pts))
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
+	jobs := make([]runner.Job, 0, len(pts)*len(s.Workloads))
+	labels := make([][]string, len(pts))
 	for i, pt := range pts {
-		wg.Add(1)
-		go func(i int, pt []int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outcomes[i] = s.evaluate(pt, score)
-		}(i, pt)
+		cfg := s.Base
+		labels[i] = make([]string, len(pt))
+		for k, vi := range pt {
+			v := s.Axes[k].Values[vi]
+			labels[i][k] = v.Label
+			v.Apply(&cfg)
+		}
+		for _, w := range s.Workloads {
+			jobs = append(jobs, runner.Job{
+				Name:         w,
+				Config:       cfg,
+				Source:       runner.Workload(w, s.Seed),
+				Instructions: s.Instructions,
+			})
+		}
 	}
-	wg.Wait()
+	pool := runner.Pool{Parallelism: s.Parallelism}
+	results := runner.Results(pool.Run(jobs))
+
+	outcomes := make([]Outcome, len(pts))
+	for i := range pts {
+		out := Outcome{Labels: labels[i], PerWorkload: make(map[string]sim.Result, len(s.Workloads))}
+		var mpki, ipc float64
+		for j, w := range s.Workloads {
+			res := results[i*len(s.Workloads)+j]
+			out.PerWorkload[w] = res
+			mpki += res.MPKI()
+			ipc += res.IPC()
+		}
+		out.MPKI = mpki / float64(len(s.Workloads))
+		out.IPC = ipc / float64(len(s.Workloads))
+		out.Score = score(out.MPKI, out.IPC)
+		outcomes[i] = out
+	}
 
 	sort.SliceStable(outcomes, func(a, b int) bool {
 		return outcomes[a].Score > outcomes[b].Score
 	})
 	return outcomes
-}
-
-// evaluate runs one design point over the workload mix.
-func (s *Study) evaluate(pt []int, score func(float64, float64) float64) Outcome {
-	cfg := s.Base
-	labels := make([]string, len(pt))
-	for k, vi := range pt {
-		v := s.Axes[k].Values[vi]
-		labels[k] = v.Label
-		v.Apply(&cfg)
-	}
-	out := Outcome{Labels: labels, PerWorkload: make(map[string]sim.Result, len(s.Workloads))}
-	var mpki, ipc float64
-	for _, w := range s.Workloads {
-		src, err := workload.Make(w, s.Seed)
-		if err != nil {
-			panic(err) // validated in Run
-		}
-		res := sim.New(cfg, []trace.Source{trace.Limit(src, s.Instructions)}).Run(0)
-		out.PerWorkload[w] = res
-		mpki += res.MPKI()
-		ipc += res.IPC()
-	}
-	out.MPKI = mpki / float64(len(s.Workloads))
-	out.IPC = ipc / float64(len(s.Workloads))
-	out.Score = score(out.MPKI, out.IPC)
-	return out
 }
 
 // StandardAxes returns the ready-made axes the CLI exposes, keyed by

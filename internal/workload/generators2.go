@@ -37,7 +37,6 @@ func Interpreter(seed uint64) trace.Source {
 			prog[i] = rng.Intn(nOps)
 		}
 	}
-	pc := 0
 	dispL := b.NewLabel()
 	disp := b.Block(10)
 	b.Bind(dispL, disp)
@@ -46,11 +45,13 @@ func Interpreter(seed uint64) trace.Source {
 		targets[i] = handlers[i]
 	}
 	sw := b.Block(4)
+	pcSlot := b.newSlot()
 	sw.setBranch(zarch.KindUncondInd, 2,
 		func(*Exec) bool { return true },
 		func(e *Exec, addrs []zarch.Addr) zarch.Addr {
-			op := prog[pc]
-			pc = (pc + 1) % len(prog)
+			pc := &e.slot[pcSlot]
+			op := prog[*pc]
+			*pc = (*pc + 1) % int64(len(prog))
 			return addrs[op]
 		}, targets...)
 

@@ -58,6 +58,10 @@ type Program struct {
 	nodes  []node
 	byAddr map[zarch.Addr]int
 	entry  int
+	// slots is the number of behavioral-state slots the program's
+	// branch closures use; each Exec carries its own slot array, so
+	// several interpreters can share one Program and Reset can rewind.
+	slots int
 }
 
 // Blocks returns the number of basic blocks in the program.
@@ -82,6 +86,16 @@ type Builder struct {
 	rng    *hashx.Rand
 	err    error
 	labels []*Label
+	slots  int
+}
+
+// newSlot allocates one behavioral-state slot. Branch closures must
+// keep their mutable state in Exec.slot[s] rather than captured
+// variables, so the state is per-interpreter and resettable.
+func (b *Builder) newSlot() int {
+	s := b.slots
+	b.slots++
+	return s
 }
 
 // BlockRef names a created block.
@@ -232,12 +246,13 @@ func (r BlockRef) Loop(count int, target Target) {
 		r.b.fail(fmt.Errorf("workload: Loop count %d < 1", count))
 		return
 	}
-	c := 0
+	slot := r.b.newSlot()
 	r.setBranch(zarch.KindLoop, 4,
-		func(*Exec) bool {
-			c++
-			if c >= count {
-				c = 0
+		func(e *Exec) bool {
+			c := &e.slot[slot]
+			*c++
+			if *c >= int64(count) {
+				*c = 0
 				return false
 			}
 			return true
@@ -252,11 +267,12 @@ func (r BlockRef) CondPattern(pattern []bool, target Target) {
 		return
 	}
 	pat := append([]bool(nil), pattern...)
-	i := 0
+	slot := r.b.newSlot()
 	r.setBranch(zarch.KindCondRel, 4,
-		func(*Exec) bool {
-			v := pat[i]
-			i = (i + 1) % len(pat)
+		func(e *Exec) bool {
+			i := &e.slot[slot]
+			v := pat[*i]
+			*i = (*i + 1) % int64(len(pat))
 			return v
 		}, chooseFirst, target)
 }
@@ -349,7 +365,7 @@ func (r BlockRef) Switch(targets []Target, chooser TargetChooser) {
 		r.b.fail(fmt.Errorf("workload: empty Switch"))
 		return
 	}
-	i := 0
+	slot := r.b.newSlot()
 	r.setBranch(zarch.KindUncondInd, 2,
 		func(*Exec) bool { return true },
 		func(e *Exec, addrs []zarch.Addr) zarch.Addr {
@@ -365,8 +381,9 @@ func (r BlockRef) Switch(targets []Target, chooser TargetChooser) {
 				k := uint64(e.recentTgt(4))>>4 ^ uint64(e.recentTgt(11))>>6
 				return addrs[int(k%uint64(len(addrs)))]
 			default:
-				a := addrs[i%len(addrs)]
-				i++
+				i := &e.slot[slot]
+				a := addrs[int(*i)%len(addrs)]
+				*i++
 				return a
 			}
 		}, targets...)
@@ -425,6 +442,7 @@ func (b *Builder) Build(entry BlockRef) (*Program, error) {
 		nodes:  append([]node(nil), b.nodes...),
 		byAddr: make(map[zarch.Addr]int, len(b.nodes)),
 		entry:  entry.idx,
+		slots:  b.slots,
 	}
 	for i := range p.nodes {
 		p.byAddr[p.nodes[i].addr] = i
@@ -483,16 +501,21 @@ const histDepth = 64
 // independent architectural context with its own rng, call stack and
 // branch history.
 type Exec struct {
-	p   *Program
-	rng *hashx.Rand
+	p    *Program
+	rng  *hashx.Rand
+	seed uint64 // NewExec seed, kept for Reset
 
 	cur    int // current node
 	padPos int // next pad instruction within the node
 	padAdr zarch.Addr
 
 	stack []zarch.Addr
-	hist  uint64 // bitvector of recent conditional outcomes, bit 0 newest
-	path  uint64 // folded taken-branch path
+	// slot holds the per-interpreter behavioral state of the program's
+	// branch closures (loop counters, pattern positions, round-robin
+	// indices), indexed by the slot ids the Builder allocated.
+	slot []int64
+	hist uint64 // bitvector of recent conditional outcomes, bit 0 newest
+	path uint64 // folded taken-branch path
 	// tgtRing holds the most recent taken-branch targets; ChoosePath
 	// correlates with a couple of them at small lags -- shallow path
 	// history, the regime a GPV-indexed changing target buffer is built
@@ -510,9 +533,24 @@ func (e *Exec) recentTgt(lag int) zarch.Addr {
 
 // NewExec returns an interpreter over p with the given rng seed.
 func NewExec(p *Program, seed uint64) *Exec {
-	e := &Exec{p: p, rng: hashx.New(seed), cur: p.entry}
+	e := &Exec{p: p, rng: hashx.New(seed), seed: seed, cur: p.entry,
+		slot: make([]int64, p.slots)}
 	e.padAdr = p.nodes[p.entry].addr
 	return e
+}
+
+// Reset rewinds the interpreter to its initial state (trace.Resetter):
+// the replayed stream is identical to a fresh NewExec with the same
+// seed, but the built Program is reused. SetCtx state is cleared.
+func (e *Exec) Reset() {
+	p, seed := e.p, e.seed
+	slot := e.slot
+	for i := range slot {
+		slot[i] = 0
+	}
+	*e = Exec{p: p, rng: hashx.New(seed), seed: seed, cur: p.entry,
+		stack: e.stack[:0], slot: slot}
+	e.padAdr = p.nodes[p.entry].addr
 }
 
 // SetCtx sets the context ID stamped on emitted records.
@@ -613,6 +651,21 @@ func NewMultiplex(srcs []trace.Source, slice int) *Multiplex {
 		panic("workload: NewMultiplex needs sources and a positive slice")
 	}
 	return &Multiplex{srcs: srcs, slice: slice, left: slice}
+}
+
+// Reset rewinds the multiplexer and every underlying source
+// (trace.Resetter). It panics if a source cannot be rewound; all
+// generator-built sources can.
+func (m *Multiplex) Reset() {
+	for _, src := range m.srcs {
+		r, ok := src.(trace.Resetter)
+		if !ok {
+			panic(fmt.Sprintf("workload: Multiplex source %T is not resettable", src))
+		}
+		r.Reset()
+	}
+	m.cur = 0
+	m.left = m.slice
 }
 
 // Next implements trace.Source.

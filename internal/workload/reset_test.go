@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"testing"
+
+	"zbp/internal/trace"
+)
+
+// TestResetReplaysIdenticalStream: for every registered workload, Reset
+// must replay exactly the stream a fresh Make would produce.
+func TestResetReplaysIdenticalStream(t *testing.T) {
+	const n = 5000
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			src, err := Make(name, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, ok := src.(trace.Resetter)
+			if !ok {
+				t.Fatalf("workload %s source %T is not resettable", name, src)
+			}
+			first := trace.Take(src, n)
+			r.Reset()
+			second := trace.Take(src, n)
+			fresh, _ := Make(name, 99)
+			ref := trace.Take(fresh, n)
+			if len(first) != n || len(second) != n || len(ref) != n {
+				t.Fatalf("short streams: %d %d %d", len(first), len(second), len(ref))
+			}
+			for i := range first {
+				if first[i] != second[i] {
+					t.Fatalf("record %d differs after Reset: %+v vs %+v", i, first[i], second[i])
+				}
+				if first[i] != ref[i] {
+					t.Fatalf("record %d differs from fresh Make: %+v vs %+v", i, first[i], ref[i])
+				}
+			}
+		})
+	}
+}
