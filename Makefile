@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench exp race cover
+.PHONY: all build test vet bench exp race cover fuzz golden
 
 all: build vet test
 
@@ -24,3 +24,12 @@ exp:
 
 cover:
 	go test -coverprofile=cover.out ./... && go tool cover -func=cover.out | tail -1
+
+# 30s smoke per fuzz target, same as CI.
+fuzz:
+	go test ./internal/trace -run '^$$' -fuzz '^FuzzReadTrace$$' -fuzztime 30s
+	go test ./internal/trace -run '^$$' -fuzz '^FuzzRecordRoundTrip$$' -fuzztime 30s
+
+# Refresh the golden stats snapshots after an intentional model change.
+golden:
+	go test ./internal/sim -run Golden -update

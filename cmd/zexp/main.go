@@ -32,6 +32,7 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		seeds    = flag.Int("seeds", 1, "seeds to average in the mpki experiment")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = all cores); results are identical at any setting")
+		statsDir = flag.String("stats-dir", "", "serialize every simulation's stats snapshot (JSON) into this directory")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -86,13 +87,24 @@ func main() {
 		}
 	}
 
+	if *statsDir != "" {
+		if err := os.MkdirAll(*statsDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "zexp:", err)
+			os.Exit(1)
+		}
+	}
+
 	fmt.Printf("zbp experiment runner: %d experiment(s), scale %d instructions, seed %d\n",
 		len(selected), *scale, *seed)
 	start := time.Now()
 	for _, e := range selected {
 		t0 := time.Now()
-		e.Run(exp.Options{W: os.Stdout, Scale: *scale, Seed: *seed, Seeds: *seeds,
-			Parallelism: *parallel})
+		opts := exp.Options{W: os.Stdout, Scale: *scale, Seed: *seed, Seeds: *seeds,
+			Parallelism: *parallel}
+		if *statsDir != "" {
+			opts = opts.WithStats(*statsDir, e.ID)
+		}
+		e.Run(opts)
 		fmt.Printf("[%s done in %v]\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Printf("\nall done in %v\n", time.Since(start).Round(time.Millisecond))

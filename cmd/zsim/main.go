@@ -6,6 +6,8 @@
 //	zsim -workload lspr -config z15 -n 1000000
 //	zsim -workload lspr -workload2 micro -config z15   # SMT2
 //	zsim -trace path.zbpt -config z14                  # trace file input
+//	zsim -stats-json out.json                          # schema-versioned stats snapshot
+//	zsim -events run.jsonl                             # cycle-level event log (JSONL)
 package main
 
 import (
@@ -34,6 +36,8 @@ func main() {
 		noIC    = flag.Bool("noicache", false, "disable the I-cache model")
 		noPref  = flag.Bool("noprefetch", false, "disable BPL-driven prefetch")
 		asJSON  = flag.Bool("json", false, "emit the full result as JSON")
+		statsJS = flag.String("stats-json", "", "write the schema-versioned stats snapshot to this file (- for stdout)")
+		events  = flag.String("events", "", "stream the cycle-level event log as JSONL to this file")
 		lw      = flag.Bool("listworkloads", false, "list workloads and exit")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -113,7 +117,31 @@ func main() {
 		srcs = append(srcs, trace.Limit(src2, *n))
 	}
 
-	res := sim.New(cfg, srcs).Run(0)
+	s := sim.New(cfg, srcs)
+	var evSink *sim.JSONLSink
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		evSink = sim.NewJSONLSink(f)
+		s.SetEventSink(evSink)
+	}
+	res := s.Run(0)
+	if evSink != nil {
+		if err := evSink.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "zsim: event log:", err)
+			os.Exit(1)
+		}
+	}
+	if *statsJS != "" {
+		if err := writeStats(res, *statsJS); err != nil {
+			fmt.Fprintln(os.Stderr, "zsim:", err)
+			os.Exit(1)
+		}
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -129,6 +157,23 @@ func main() {
 		return
 	}
 	report(res)
+}
+
+// writeStats serializes the schema-versioned stats snapshot to path
+// ("-" = stdout). The bytes are deterministic for a given run setup.
+func writeStats(res sim.Result, path string) error {
+	if path == "-" {
+		return res.WriteStatsJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteStatsJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func report(res sim.Result) {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"zbp/internal/hashx"
+	"zbp/internal/metrics"
 	"zbp/internal/sat"
 	"zbp/internal/zarch"
 )
@@ -122,6 +123,20 @@ type Stats struct {
 	AliasedHits int64
 }
 
+// Register exposes every counter under prefix (e.g. "btb1") in the
+// registry. The receiver must outlive the registry.
+func (s *Stats) Register(r *metrics.Registry, prefix string) {
+	r.Counter(prefix+".searches", &s.Searches)
+	r.Counter(prefix+".search_hits", &s.SearchHits)
+	r.Counter(prefix+".lookups", &s.Lookups)
+	r.Counter(prefix+".lookup_hits", &s.LookupHits)
+	r.Counter(prefix+".installs", &s.Installs)
+	r.Counter(prefix+".updates", &s.Updates)
+	r.Counter(prefix+".evictions", &s.Evictions)
+	r.Counter(prefix+".invalidates", &s.Invalidates)
+	r.Counter(prefix+".aliased_hits", &s.AliasedHits)
+}
+
 // EventKind classifies a table write event for white-box observers.
 type EventKind uint8
 
@@ -185,6 +200,13 @@ func (t *Table) Geometry() Geometry { return t.geo }
 
 // Stats returns a copy of the event counters.
 func (t *Table) Stats() Stats { return t.stats }
+
+// RegisterMetrics registers the table's live counters plus an
+// occupancy gauge under prefix.
+func (t *Table) RegisterMetrics(r *metrics.Registry, prefix string) {
+	t.stats.Register(r, prefix)
+	r.Gauge(prefix+".occupancy", func() float64 { return float64(t.Occupancy()) })
+}
 
 func (t *Table) row(addr zarch.Addr) int {
 	return int(uint64(addr) >> t.geo.LineShift & uint64(t.geo.Rows()-1))

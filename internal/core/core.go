@@ -5,6 +5,7 @@ import (
 	"zbp/internal/cpred"
 	"zbp/internal/dirpred"
 	"zbp/internal/history"
+	"zbp/internal/metrics"
 	"zbp/internal/tgt"
 	"zbp/internal/zarch"
 )
@@ -70,6 +71,44 @@ type Stats struct {
 	PowerGatedPerc     int64
 	PowerGatedCTB      int64
 	WriteQueueDrops    int64
+	// StreamSearchHist distributes the number of b0 searches each
+	// closed stream needed before its exit was found (the quantity the
+	// CPRED learns, §IV).
+	StreamSearchHist metrics.Hist
+}
+
+// NewStreamSearchHist returns the searches-per-stream histogram shape.
+func NewStreamSearchHist() metrics.Hist {
+	return metrics.NewHist(1, 2, 3, 4, 6, 8, 12)
+}
+
+// Register exposes every counter and the stream histogram under
+// prefix (e.g. "core").
+func (s *Stats) Register(r *metrics.Registry, prefix string) {
+	r.Counter(prefix+".cycles", &s.Cycles)
+	r.Counter(prefix+".searches", &s.Searches)
+	r.Counter(prefix+".nopred_searches", &s.NoPredSearches)
+	r.Counter(prefix+".predictions", &s.Predictions)
+	r.Counter(prefix+".taken_predictions", &s.TakenPredictions)
+	r.Counter(prefix+".queue_stall_cycles", &s.QueueStallCycles)
+	r.Counter(prefix+".cpred_fast_redirects", &s.CPredFastRedirects)
+	r.Counter(prefix+".cpred_slow_redirects", &s.CPredSlowRedirects)
+	r.Counter(prefix+".skoot_lines_skipped", &s.SkootLinesSkipped)
+	r.Counter(prefix+".btb2_miss_triggers", &s.BTB2MissTriggers)
+	r.Counter(prefix+".btb2_proactive", &s.BTB2Proactive)
+	r.Counter(prefix+".btb2_ctx_prefetch", &s.BTB2CtxPrefetch)
+	r.Counter(prefix+".refresh_writes", &s.RefreshWrites)
+	r.Counter(prefix+".surprise_installs", &s.SurpriseInstalls)
+	r.Counter(prefix+".bad_predictions", &s.BadPredictions)
+	r.Counter(prefix+".btb2_suppressed", &s.BTB2Suppressed)
+	r.Counter(prefix+".surprise_in_btb2", &s.SurpriseInBTB2)
+	r.Counter(prefix+".gated_but_needed_ctb", &s.GatedButNeededCTB)
+	r.Counter(prefix+".gated_but_needed_aux", &s.GatedButNeededAux)
+	r.Counter(prefix+".power_gated_pht", &s.PowerGatedPHT)
+	r.Counter(prefix+".power_gated_perc", &s.PowerGatedPerc)
+	r.Counter(prefix+".power_gated_ctb", &s.PowerGatedCTB)
+	r.Counter(prefix+".write_queue_drops", &s.WriteQueueDrops)
+	r.Hist(prefix+".stream_searches", &s.StreamSearchHist)
 }
 
 // thread is the per-thread search state of the lookahead pipeline.
@@ -192,7 +231,22 @@ func New(cfg Config) *Core {
 		c.threads[t].predQ = make([]Prediction, 0, cfg.PredQueueCap)
 	}
 	c.writeQ = make([]btb.Info, 0, cfg.WriteQueueCap)
+	c.stats.StreamSearchHist = NewStreamSearchHist()
 	return c
+}
+
+// RegisterMetrics registers the whole predictor tree's live counters:
+// the core's own under "core" and each substructure under its
+// conventional prefix (btb1, btb2, dir, tgt, cpred).
+func (c *Core) RegisterMetrics(r *metrics.Registry) {
+	c.stats.Register(r, "core")
+	c.btb1.RegisterMetrics(r, "btb1")
+	if c.btb2 != nil {
+		c.btb2.RegisterMetrics(r, "btb2")
+	}
+	c.dir.RegisterMetrics(r, "dir")
+	c.tgt.RegisterMetrics(r, "tgt")
+	c.cpred.RegisterMetrics(r, "cpred")
 }
 
 // Config returns the active configuration.
@@ -261,6 +315,12 @@ func (c *Core) Deactivate(t int) { c.threads[t].active = false }
 // restart.
 func (c *Core) enterStream(t int, start zarch.Addr, skip int, entry zarch.Addr, hasEntry bool) {
 	th := &c.threads[t]
+	if th.searchesInStream > 0 {
+		// Close out the previous stream: its search count is the
+		// quantity the CPRED learns (zero-search closes are restart
+		// artifacts, not streams).
+		c.stats.StreamSearchHist.Observe(int64(th.searchesInStream))
+	}
 	th.streamStart = start
 	th.searchesInStream = 0
 	th.firstHitSearch = -1

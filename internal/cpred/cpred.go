@@ -18,6 +18,7 @@ package cpred
 
 import (
 	"zbp/internal/hashx"
+	"zbp/internal/metrics"
 	"zbp/internal/zarch"
 )
 
@@ -84,6 +85,15 @@ type Stats struct {
 	Incorrect int64
 }
 
+// Register exposes every counter under prefix (e.g. "cpred").
+func (s *Stats) Register(r *metrics.Registry, prefix string) {
+	r.Counter(prefix+".lookups", &s.Lookups)
+	r.Counter(prefix+".hits", &s.Hits)
+	r.Counter(prefix+".updates", &s.Updates)
+	r.Counter(prefix+".correct", &s.Correct)
+	r.Counter(prefix+".incorrect", &s.Incorrect)
+}
+
 // CPRED is the stream-based column predictor.
 type CPRED struct {
 	cfg     Config
@@ -112,6 +122,11 @@ func (c *CPRED) Enabled() bool { return len(c.entries) > 0 }
 
 // Stats returns a copy of the counters.
 func (c *CPRED) Stats() Stats { return c.stats }
+
+// RegisterMetrics registers the predictor's live counters under prefix.
+func (c *CPRED) RegisterMetrics(r *metrics.Registry, prefix string) {
+	c.stats.Register(r, prefix)
+}
 
 func (c *CPRED) index(stream zarch.Addr) int {
 	return int(hashx.Fold(uint64(stream)>>1, c.idxBits))

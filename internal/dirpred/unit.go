@@ -2,6 +2,7 @@ package dirpred
 
 import (
 	"zbp/internal/history"
+	"zbp/internal/metrics"
 	"zbp/internal/sat"
 	"zbp/internal/zarch"
 )
@@ -66,6 +67,18 @@ type Stats struct {
 	// WeakFiltered counts weak TAGE predictions suppressed by the
 	// weak-prediction counter.
 	WeakFiltered int64
+}
+
+// Register exposes every counter under prefix (e.g. "dir"), with the
+// per-provider arrays flattened to one name per provider.
+func (s *Stats) Register(r *metrics.Registry, prefix string) {
+	for p := ProvNone; p < numProviders; p++ {
+		r.Counter(prefix+".issued."+p.String(), &s.Issued[p])
+		r.Counter(prefix+".correct."+p.String(), &s.Correct[p])
+	}
+	r.Counter(prefix+".pht_installs", &s.PHTInstalls)
+	r.Counter(prefix+".perc_installs", &s.PercInstalls)
+	r.Counter(prefix+".weak_filtered", &s.WeakFiltered)
 }
 
 // Unit bundles the auxiliary direction predictors and implements the
@@ -438,6 +451,11 @@ func (u *Unit) Flush(seq uint64) {
 
 // Stats returns a copy of the counters.
 func (u *Unit) Stats() Stats { return u.stats }
+
+// RegisterMetrics registers the unit's live counters under prefix.
+func (u *Unit) RegisterMetrics(r *metrics.Registry, prefix string) {
+	u.stats.Register(r, prefix)
+}
 
 // PercHas exposes perceptron residency for tests and verification.
 func (u *Unit) PercHas(addr zarch.Addr) bool {

@@ -8,6 +8,8 @@ package exp
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"zbp/internal/btb"
 	"zbp/internal/core"
@@ -32,6 +34,26 @@ type Options struct {
 	// (0 = all cores). Results are identical at any setting: the
 	// runner pool is deterministic and order-preserving.
 	Parallelism int
+	// ID labels the experiment in stats-file names; cmd/zexp sets it
+	// to the experiment's ID before calling Run.
+	ID string
+	// StatsDir, when non-empty, makes every runner batch serialize each
+	// simulation's schema-versioned stats snapshot into this directory
+	// as <id>-b<batch>-j<job>-<name>.json, so experiment runs can be
+	// diffed in CI. The directory must exist.
+	StatsDir string
+	// batchSeq numbers runner batches within one experiment for stable
+	// stats-file names; set via WithStats.
+	batchSeq *int
+}
+
+// WithStats returns o with stats serialization into dir enabled for
+// experiment id.
+func (o Options) WithStats(dir, id string) Options {
+	o.StatsDir = dir
+	o.ID = id
+	o.batchSeq = new(int)
+	return o
 }
 
 func (o Options) seeds() int {
@@ -96,10 +118,53 @@ func job(o Options, cfg sim.Config, name string, seed uint64) runner.Job {
 
 // runBatch fans jobs out across the experiment's runner pool and
 // returns results in job order; a failed job (unknown workload, model
-// bug) panics, matching runOn.
+// bug) panics, matching runOn. With StatsDir set, every result's
+// stats snapshot is serialized for machine diffing.
 func runBatch(o Options, jobs []runner.Job) []sim.Result {
 	pool := runner.Pool{Parallelism: o.Parallelism}
-	return runner.Results(pool.Run(jobs))
+	results := runner.Results(pool.Run(jobs))
+	if o.StatsDir != "" {
+		batch := 0
+		if o.batchSeq != nil {
+			*o.batchSeq++
+			batch = *o.batchSeq
+		}
+		for j, res := range results {
+			name := fmt.Sprintf("%s-b%02d-j%02d-%s.json", o.ID, batch, j, sanitizeName(jobs[j].Name))
+			if err := writeStatsFile(filepath.Join(o.StatsDir, name), &res); err != nil {
+				panic(fmt.Errorf("exp: writing stats %s: %w", name, err))
+			}
+		}
+	}
+	return results
+}
+
+// sanitizeName maps a job name to a filesystem-safe token.
+func sanitizeName(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func writeStatsFile(path string, res *sim.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteStatsJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // header prints a section banner.

@@ -11,6 +11,7 @@ package frontend
 import (
 	"zbp/internal/core"
 	"zbp/internal/icache"
+	"zbp/internal/metrics"
 	"zbp/internal/trace"
 	"zbp/internal/zarch"
 )
@@ -82,7 +83,42 @@ type Stats struct {
 	DispatchSyncStall int64 // cycles stalled waiting for BPL coverage
 	FetchStall        int64 // cycles stalled on I-cache
 	RestartStall      int64 // cycles lost to restarts/penalties
-	Done              bool
+	// RestartHist distributes the per-restart penalty in cycles; the
+	// bucket bounds straddle the configured §II penalties (6-cycle
+	// surprise redirect, 26-cycle branch wrong, +8 queue refill).
+	RestartHist metrics.Hist
+	Done        bool
+}
+
+// NewRestartHist returns the restart-penalty histogram shape.
+func NewRestartHist() metrics.Hist {
+	return metrics.NewHist(0, 4, 8, 16, 26, 30, 34)
+}
+
+// Register exposes every counter and the restart histogram under
+// prefix (e.g. "thread0"), flattening the per-provider target arrays
+// to one name per provider.
+func (s *Stats) Register(r *metrics.Registry, prefix string) {
+	r.Counter(prefix+".instructions", &s.Instructions)
+	r.Counter(prefix+".branches", &s.Branches)
+	r.Counter(prefix+".cycles", &s.Cycles)
+	r.Counter(prefix+".dynamic_predicted", &s.DynamicPredicted)
+	r.Counter(prefix+".dyn_correct", &s.DynCorrect)
+	r.Counter(prefix+".dyn_wrong_dir", &s.DynWrongDir)
+	r.Counter(prefix+".dyn_wrong_target", &s.DynWrongTarget)
+	r.Counter(prefix+".surprises", &s.Surprises)
+	r.Counter(prefix+".surprise_wrong", &s.SurpriseWrong)
+	r.Counter(prefix+".surprise_taken_rel", &s.SurpriseTakenRel)
+	r.Counter(prefix+".surprise_taken_ind", &s.SurpriseTakenInd)
+	r.Counter(prefix+".bad_predictions", &s.BadPredictions)
+	for i, name := range [3]string{"btb", "ctb", "crs"} {
+		r.Counter(prefix+".tgt_provided."+name, &s.TgtProvided[i])
+		r.Counter(prefix+".tgt_wrong."+name, &s.TgtWrong[i])
+	}
+	r.Counter(prefix+".dispatch_sync_stall", &s.DispatchSyncStall)
+	r.Counter(prefix+".fetch_stall", &s.FetchStall)
+	r.Counter(prefix+".restart_stall", &s.RestartStall)
+	r.Hist(prefix+".restart_penalty", &s.RestartHist)
 }
 
 // Mispredicts returns the total mispredicted branches (the MPKI
@@ -129,12 +165,20 @@ type Thread struct {
 	started bool
 	done    bool
 	stats   Stats
+
+	// resolveHook/restartHook, when set, observe retired branches and
+	// pipeline restarts (event-log wiring); nil costs one predictable
+	// branch per event.
+	resolveHook func(now int64, r trace.Rec, dynamic, correct bool)
+	restartHook func(now int64, addr zarch.Addr, penalty int64)
 }
 
 // NewThread builds a front end for thread id consuming src. ic may be
 // nil to disable I-cache modeling.
 func NewThread(cfg Config, id int, c *core.Core, ic *icache.Hierarchy, src trace.Source) *Thread {
-	return &Thread{cfg: cfg, id: id, c: c, ic: ic, src: src}
+	t := &Thread{cfg: cfg, id: id, c: c, ic: ic, src: src}
+	t.stats.RestartHist = NewRestartHist()
+	return t
 }
 
 // Stats returns a copy of this thread's counters.
@@ -144,8 +188,29 @@ func (f *Thread) Stats() Stats {
 	return s
 }
 
+// RegisterMetrics registers the thread's live counters under prefix.
+func (f *Thread) RegisterMetrics(r *metrics.Registry, prefix string) {
+	f.stats.Register(r, prefix)
+}
+
+// SetResolveHook registers an observer of every retired branch:
+// whether it was dynamically predicted and whether the prediction (or
+// static guess) was fully correct.
+func (f *Thread) SetResolveHook(fn func(now int64, r trace.Rec, dynamic, correct bool)) {
+	f.resolveHook = fn
+}
+
+// SetRestartHook registers an observer of every pipeline restart with
+// its redirect address and charged penalty.
+func (f *Thread) SetRestartHook(fn func(now int64, addr zarch.Addr, penalty int64)) {
+	f.restartHook = fn
+}
+
 // Done reports whether the trace is exhausted.
 func (f *Thread) Done() bool { return f.done }
+
+// ID returns the hardware thread index.
+func (f *Thread) ID() int { return f.id }
 
 func (f *Thread) next() (trace.Rec, bool) {
 	if f.havePeek {
@@ -166,6 +231,10 @@ func (f *Thread) consume() { f.havePeek = false }
 func (f *Thread) restart(now int64, addr zarch.Addr, ctx uint16, penalty int64) {
 	f.stallUntil = now + penalty
 	f.stats.RestartStall += penalty
+	f.stats.RestartHist.Observe(penalty)
+	if f.restartHook != nil {
+		f.restartHook(now, addr, penalty)
+	}
 	f.c.Restart(f.id, addr, ctx)
 	f.epoch++
 	f.stream = 0
@@ -319,6 +388,10 @@ func (f *Thread) applyDynamic(now int64, r trace.Rec, p core.Prediction) bool {
 	out := core.Outcome{Pred: p, Taken: r.Taken, Target: r.Target}
 	f.c.Complete(out)
 
+	if f.resolveHook != nil {
+		f.resolveHook(now, r, true, !out.WrongDirection() && !out.WrongTarget())
+	}
+
 	if p.Taken && r.Taken {
 		prov := int(p.Tgt.Provider)
 		if prov >= 0 && prov < len(f.stats.TgtProvided) {
@@ -366,6 +439,9 @@ func (f *Thread) applySurprise(now int64, r trace.Rec) bool {
 	})
 
 	guess := r.Kind.StaticGuessTaken()
+	if f.resolveHook != nil {
+		f.resolveHook(now, r, false, guess == r.Taken)
+	}
 	switch {
 	case guess != r.Taken:
 		// Wrong static guess: full branch-wrong restart.

@@ -1,0 +1,103 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+
+	"zbp/internal/zarch"
+)
+
+// randAddrs returns n random halfword-aligned branch addresses.
+func randAddrs(rng *rand.Rand, n int) []zarch.Addr {
+	out := make([]zarch.Addr, n)
+	for i := range out {
+		out[i] = zarch.Addr(rng.Uint64() &^ 1)
+	}
+	return out
+}
+
+func pushAll(g GPV, addrs []zarch.Addr) GPV {
+	for _, a := range addrs {
+		g = g.Push(a)
+	}
+	return g
+}
+
+// TestGPVSnapshotRewindProperty is the GPQ contract: GPV is a value
+// type, so snapshotting before a speculative run of pushes and
+// restoring the snapshot afterwards (the restart path: gpvSpec =
+// gpvArch) must be an exact inverse of any push sequence — that IS the
+// rewind mechanism, there is no pop. Verified across random branch
+// sequences at every supported depth.
+func TestGPVSnapshotRewindProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, depth := range []int{1, 2, DepthZ13, DepthZ15, 32} {
+		g := New(depth)
+		for trial := 0; trial < 200; trial++ {
+			// Advance the architectural history by a random prefix.
+			g = pushAll(g, randAddrs(rng, rng.Intn(40)))
+			snap := g // architectural snapshot
+
+			// Speculative wrong-path pushes...
+			spec := pushAll(snap, randAddrs(rng, 1+rng.Intn(25)))
+			if spec.Depth() != snap.Depth() {
+				t.Fatalf("depth %d: push changed depth to %d", depth, spec.Depth())
+			}
+			// ...then a restart restores the snapshot.
+			rewound := snap
+			if rewound != g {
+				t.Fatalf("depth %d trial %d: rewind differs from pre-speculation state:\n%+v\n%+v",
+					depth, trial, rewound, g)
+			}
+			if rewound.Bits() != g.Bits() {
+				t.Fatalf("depth %d: bits differ after rewind", depth)
+			}
+		}
+	}
+}
+
+// TestGPVLastDepthDeterminesState: the vector is a shift register, so
+// its state is fully determined by the most recent depth pushes — any
+// prefix must fall out. This is what makes snapshot-rewind cheap: no
+// unbounded history needs restoring.
+func TestGPVLastDepthDeterminesState(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, depth := range []int{1, 3, DepthZ13, DepthZ15, 32} {
+		for trial := 0; trial < 200; trial++ {
+			seq := randAddrs(rng, depth+rng.Intn(3*depth+8))
+			full := pushAll(New(depth), seq)
+			suffix := pushAll(New(depth), seq[len(seq)-depth:])
+			if full != suffix {
+				t.Fatalf("depth %d trial %d: full-sequence state %x != last-%d state %x",
+					depth, trial, full.Bits(), depth, suffix.Bits())
+			}
+		}
+	}
+}
+
+// TestGPVRecentIsSuffixProperty: Recent(n) must equal the low n*2 bits
+// for every n, and pushing shifts exactly BitsPerBranch bits in.
+func TestGPVRecentIsSuffixProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := New(DepthZ15)
+	for trial := 0; trial < 500; trial++ {
+		addr := zarch.Addr(rng.Uint64() &^ 1)
+		prev := g
+		g = g.Push(addr)
+		// The new low bits are the pushed branch's hash; everything
+		// above is the previous history shifted up (truncated to depth).
+		wantLow := BranchGPV(addr)
+		if g.Recent(1) != wantLow {
+			t.Fatalf("Recent(1) = %x, want pushed hash %x", g.Recent(1), wantLow)
+		}
+		for n := 0; n <= g.Depth(); n++ {
+			mask := uint64(1)<<(BitsPerBranch*uint(n)) - 1
+			if g.Recent(n) != g.Bits()&mask {
+				t.Fatalf("Recent(%d) = %x, want low bits %x", n, g.Recent(n), g.Bits()&mask)
+			}
+		}
+		if shifted := (prev.Bits()<<BitsPerBranch | wantLow) & (uint64(1)<<uint(g.Width()) - 1); g.Bits() != shifted {
+			t.Fatalf("push did not shift: got %x want %x", g.Bits(), shifted)
+		}
+	}
+}

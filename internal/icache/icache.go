@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"zbp/internal/metrics"
 	"zbp/internal/zarch"
 )
 
@@ -70,6 +71,29 @@ type Stats struct {
 	Prefetches       int64
 	PrefetchUseful   int64 // demand access found the line prefetched/in flight
 	DemandWaitCycles int64 // cycles demand fetches spent waiting on fills
+	// WaitHist distributes the per-demand-miss wait in cycles: how much
+	// of the raw miss latency the lookahead prefetcher failed to hide.
+	WaitHist metrics.Hist
+}
+
+// NewWaitHist returns the wait-latency histogram shape: buckets up to
+// the modeled L2 (+8) and L3 (+45) latencies with resolution in
+// between, overflow beyond 64 cycles.
+func NewWaitHist() metrics.Hist {
+	return metrics.NewHist(0, 2, 4, 8, 16, 32, 64)
+}
+
+// Register exposes every counter and the wait histogram under prefix
+// (e.g. "icache").
+func (s *Stats) Register(r *metrics.Registry, prefix string) {
+	r.Counter(prefix+".accesses", &s.Accesses)
+	r.Counter(prefix+".l1_hits", &s.L1Hits)
+	r.Counter(prefix+".l2_hits", &s.L2Hits)
+	r.Counter(prefix+".l3_fills", &s.L3Fills)
+	r.Counter(prefix+".prefetches", &s.Prefetches)
+	r.Counter(prefix+".prefetch_useful", &s.PrefetchUseful)
+	r.Counter(prefix+".demand_wait_cycles", &s.DemandWaitCycles)
+	r.Hist(prefix+".demand_wait", &s.WaitHist)
 }
 
 type level struct {
@@ -144,6 +168,10 @@ type Hierarchy struct {
 	inflight map[zarch.Addr]int64 // line -> ready cycle
 	tickBuf  []pendingFill        // scratch for Tick retirement
 	stats    Stats
+
+	// fillHook, when set, observes every completed line fill (event-log
+	// wiring); nil costs the hot path one predictable branch.
+	fillHook func(line zarch.Addr, ready int64)
 }
 
 type pendingFill struct {
@@ -153,16 +181,26 @@ type pendingFill struct {
 
 // New builds a hierarchy for cfg.
 func New(cfg Config) *Hierarchy {
-	return &Hierarchy{
+	h := &Hierarchy{
 		cfg:      cfg,
 		l1:       newLevel(cfg.L1Bytes, cfg.L1Ways, cfg.LineBytes),
 		l2:       newLevel(cfg.L2Bytes, cfg.L2Ways, cfg.LineBytes),
 		inflight: make(map[zarch.Addr]int64),
 	}
+	h.stats.WaitHist = NewWaitHist()
+	return h
 }
 
 // Stats returns a copy of the counters.
 func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// RegisterMetrics registers the hierarchy's live counters under prefix.
+func (h *Hierarchy) RegisterMetrics(r *metrics.Registry, prefix string) {
+	h.stats.Register(r, prefix)
+}
+
+// SetFillHook registers an observer of every completed line fill.
+func (h *Hierarchy) SetFillHook(fn func(line zarch.Addr, ready int64)) { h.fillHook = fn }
 
 // Line returns the cache line base of addr.
 func (h *Hierarchy) Line(addr zarch.Addr) zarch.Addr {
@@ -193,15 +231,18 @@ func (h *Hierarchy) Access(addr zarch.Addr, now int64) int64 {
 		// A prefetch is already bringing the line in.
 		h.stats.PrefetchUseful++
 		if ready <= now {
+			h.stats.WaitHist.Observe(0)
 			h.finishFill(line, now)
 			return now
 		}
 		h.stats.DemandWaitCycles += ready - now
+		h.stats.WaitHist.Observe(ready - now)
 		h.finishFill(line, ready)
 		return ready
 	}
 	lat := h.missLatency(line, now)
 	h.stats.DemandWaitCycles += lat
+	h.stats.WaitHist.Observe(lat)
 	h.finishFill(line, now+lat)
 	return now + lat
 }
@@ -210,6 +251,9 @@ func (h *Hierarchy) finishFill(line zarch.Addr, at int64) {
 	delete(h.inflight, line)
 	h.l1.fill(line, at)
 	h.l2.fill(line, at)
+	if h.fillHook != nil {
+		h.fillHook(line, at)
+	}
 }
 
 // Prefetch hints that addr's line will be fetched soon (the BPL search

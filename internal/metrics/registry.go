@@ -1,0 +1,287 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SchemaVersion identifies the stats-JSON layout emitted by
+// Snapshot. Bump it whenever a metric is renamed or removed, or the
+// JSON shape changes; adding new metrics under new names is
+// backward-compatible and does not require a bump.
+const SchemaVersion = 1
+
+// HistBuckets is the fixed bucket count of every Hist: seven bounded
+// buckets plus one overflow bucket. Keeping the count fixed makes Hist
+// a plain value type (copyable, comparable, race-free snapshots) that
+// can live inside the per-component Stats structs.
+const HistBuckets = 8
+
+// Hist is a fixed-bucket histogram of int64 observations. Bucket i
+// counts observations v with v <= Bounds[i] (and above the previous
+// bound); the last bucket counts everything beyond the largest bound.
+// The zero value is unusable — construct with NewHist so the bounds
+// are set.
+type Hist struct {
+	Bounds [HistBuckets - 1]int64
+	Counts [HistBuckets]int64
+}
+
+// NewHist returns a histogram over the given strictly ascending upper
+// bounds. Exactly HistBuckets-1 bounds are required.
+func NewHist(bounds ...int64) Hist {
+	if len(bounds) != HistBuckets-1 {
+		panic(fmt.Sprintf("metrics: NewHist needs %d bounds, got %d", HistBuckets-1, len(bounds)))
+	}
+	var h Hist
+	for i, b := range bounds {
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: NewHist bounds not ascending at %d", i))
+		}
+		h.Bounds[i] = b
+	}
+	return h
+}
+
+// Observe counts one observation. It never allocates; the bucket scan
+// is a handful of compares, cheap enough for per-event hot paths.
+func (h *Hist) Observe(v int64) {
+	for i := range h.Bounds {
+		if v <= h.Bounds[i] {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[HistBuckets-1]++
+}
+
+// Total returns the number of observations.
+func (h Hist) Total() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Registry is a named index over a component tree's live counters,
+// gauges and histograms: the machine-readable export path for
+// everything the text reports render. Counters and histograms are
+// registered by pointer so the hot path keeps bumping plain struct
+// fields and pays nothing for the registry's existence; gauges are
+// functions evaluated at snapshot time (derived metrics like MPKI,
+// occupancy ratios). Not safe for concurrent mutation of the
+// underlying values during Snapshot; snapshot after a run, or from the
+// simulation's own goroutine.
+type Registry struct {
+	labels   map[string]string
+	counters map[string]*int64
+	gauges   map[string]func() float64
+	hists    map[string]*Hist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		labels:   map[string]string{},
+		counters: map[string]*int64{},
+		gauges:   map[string]func() float64{},
+		hists:    map[string]*Hist{},
+	}
+}
+
+func (r *Registry) checkName(name string) {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	if _, ok := r.counters[name]; ok {
+		panic("metrics: duplicate metric " + name)
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic("metrics: duplicate metric " + name)
+	}
+	if _, ok := r.hists[name]; ok {
+		panic("metrics: duplicate metric " + name)
+	}
+}
+
+// Label attaches a key=value label describing the run (config name,
+// workload, seed). Labels are carried verbatim into every snapshot.
+func (r *Registry) Label(key, value string) { r.labels[key] = value }
+
+// Counter registers a live int64 counter under name. The pointer must
+// stay valid for the registry's lifetime. Panics on duplicate names so
+// wiring mistakes fail loudly at construction, not as silent aliasing.
+func (r *Registry) Counter(name string, v *int64) {
+	r.checkName(name)
+	if v == nil {
+		panic("metrics: nil counter " + name)
+	}
+	r.counters[name] = v
+}
+
+// Gauge registers a derived float64 metric computed at snapshot time.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	r.checkName(name)
+	if fn == nil {
+		panic("metrics: nil gauge " + name)
+	}
+	r.gauges[name] = fn
+}
+
+// Hist registers a live histogram under name.
+func (r *Registry) Hist(name string, h *Hist) {
+	r.checkName(name)
+	if h == nil {
+		panic("metrics: nil histogram " + name)
+	}
+	r.hists[name] = h
+}
+
+// HistSnapshot is the serialized form of one histogram.
+type HistSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+}
+
+// Snapshot is a point-in-time copy of every registered metric,
+// decoupled from the live pointers. Its JSON form is deterministic:
+// encoding/json emits map keys in sorted order, and every value is an
+// int64 or a shortest-round-trip float64, so identical runs serialize
+// byte-identically — the property the golden harness and CI diffs
+// build on.
+type Snapshot struct {
+	SchemaVersion int                     `json:"schema_version"`
+	Labels        map[string]string       `json:"labels,omitempty"`
+	Counters      map[string]int64        `json:"counters"`
+	Gauges        map[string]float64      `json:"gauges,omitempty"`
+	Histograms    map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		SchemaVersion: SchemaVersion,
+		Counters:      make(map[string]int64, len(r.counters)),
+	}
+	if len(r.labels) > 0 {
+		s.Labels = make(map[string]string, len(r.labels))
+		for k, v := range r.labels {
+			s.Labels[k] = v
+		}
+	}
+	for name, p := range r.counters {
+		s.Counters[name] = *p
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, fn := range r.gauges {
+			s.Gauges[name] = fn()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = HistSnapshot{
+				Bounds: append([]int64(nil), h.Bounds[:]...),
+				Counts: append([]int64(nil), h.Counts[:]...),
+			}
+		}
+	}
+	return s
+}
+
+// MarshalJSON is the canonical serialized form: indented, sorted keys,
+// trailing newline, suitable for golden files and CI diffing.
+func (s Snapshot) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteJSON writes the canonical form to w.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := s.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// DiffSnapshots returns a sorted, human-readable list of metric
+// differences between two snapshots (golden-test failure messages).
+// Labels and schema version are compared too. An empty slice means the
+// snapshots are equivalent.
+func DiffSnapshots(a, b Snapshot) []string {
+	var out []string
+	if a.SchemaVersion != b.SchemaVersion {
+		out = append(out, fmt.Sprintf("schema_version: %d != %d", a.SchemaVersion, b.SchemaVersion))
+	}
+	for _, k := range unionKeys(a.Labels, b.Labels) {
+		av, aok := a.Labels[k]
+		bv, bok := b.Labels[k]
+		if aok != bok || av != bv {
+			out = append(out, fmt.Sprintf("label %s: %q != %q", k, av, bv))
+		}
+	}
+	for _, k := range unionKeys(a.Counters, b.Counters) {
+		av, aok := a.Counters[k]
+		bv, bok := b.Counters[k]
+		if aok != bok || av != bv {
+			out = append(out, fmt.Sprintf("counter %s: %d != %d", k, av, bv))
+		}
+	}
+	for _, k := range unionKeys(a.Gauges, b.Gauges) {
+		av, aok := a.Gauges[k]
+		bv, bok := b.Gauges[k]
+		if aok != bok || av != bv {
+			out = append(out, fmt.Sprintf("gauge %s: %v != %v", k, av, bv))
+		}
+	}
+	for _, k := range unionKeys(a.Histograms, b.Histograms) {
+		av, aok := a.Histograms[k]
+		bv, bok := b.Histograms[k]
+		if aok != bok || !histEqual(av, bv) {
+			out = append(out, fmt.Sprintf("histogram %s: %v != %v", k, av, bv))
+		}
+	}
+	return out
+}
+
+func histEqual(a, b HistSnapshot) bool {
+	if len(a.Bounds) != len(b.Bounds) || len(a.Counts) != len(b.Counts) {
+		return false
+	}
+	for i := range a.Bounds {
+		if a.Bounds[i] != b.Bounds[i] {
+			return false
+		}
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func unionKeys[M ~map[string]V, V any](a, b M) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		set[k] = true
+	}
+	for k := range b {
+		set[k] = true
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

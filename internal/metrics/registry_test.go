@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHistBuckets(t *testing.T) {
+	h := NewHist(0, 2, 4, 8, 16, 32, 64)
+	for _, v := range []int64{-5, 0, 1, 2, 3, 4, 8, 9, 16, 64, 65, 1 << 40} {
+		h.Observe(v)
+	}
+	// Reference bucketing: first bound >= v wins, overflow past the last.
+	var want [HistBuckets]int64
+	bounds := h.Bounds
+	for _, v := range []int64{-5, 0, 1, 2, 3, 4, 8, 9, 16, 64, 65, 1 << 40} {
+		placed := false
+		for i, b := range bounds {
+			if v <= b {
+				want[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			want[HistBuckets-1]++
+		}
+	}
+	if h.Counts != want {
+		t.Fatalf("counts %v, want %v", h.Counts, want)
+	}
+	if h.Total() != 12 {
+		t.Fatalf("Total = %d, want 12", h.Total())
+	}
+}
+
+func TestNewHistPanics(t *testing.T) {
+	mustPanic(t, "too few bounds", func() { NewHist(1, 2, 3) })
+	mustPanic(t, "non-ascending bounds", func() { NewHist(1, 2, 2, 4, 5, 6, 7) })
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	var c int64
+	h := NewHist(1, 2, 3, 4, 5, 6, 7)
+	r.Counter("a", &c)
+	r.Gauge("g", func() float64 { return 0 })
+	r.Hist("h", &h)
+	mustPanic(t, "duplicate counter", func() { r.Counter("a", &c) })
+	mustPanic(t, "duplicate across kinds", func() { r.Counter("g", &c) })
+	mustPanic(t, "duplicate gauge", func() { r.Gauge("h", func() float64 { return 0 }) })
+	mustPanic(t, "duplicate hist", func() { r.Hist("a", &h) })
+	mustPanic(t, "empty name", func() { r.Counter("", &c) })
+	mustPanic(t, "nil counter", func() { r.Counter("nc", nil) })
+	mustPanic(t, "nil gauge", func() { r.Gauge("ng", nil) })
+	mustPanic(t, "nil hist", func() { r.Hist("nh", nil) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestSnapshotLiveness: snapshots read the registered pointers at call
+// time and are decoupled afterwards.
+func TestSnapshotLiveness(t *testing.T) {
+	r := NewRegistry()
+	var c int64
+	g := 1.5
+	h := NewHist(1, 2, 3, 4, 5, 6, 7)
+	r.Label("config", "z15")
+	r.Counter("c", &c)
+	r.Gauge("g", func() float64 { return g })
+	r.Hist("h", &h)
+
+	c = 41
+	h.Observe(2)
+	s1 := r.Snapshot()
+	if s1.Counters["c"] != 41 || s1.Gauges["g"] != 1.5 || s1.Labels["config"] != "z15" {
+		t.Fatalf("snapshot missed live values: %+v", s1)
+	}
+	if s1.Histograms["h"].Counts[1] != 1 {
+		t.Fatalf("hist snapshot wrong: %+v", s1.Histograms["h"])
+	}
+
+	// Mutate after snapshot: s1 must not change, s2 must see it.
+	c = 100
+	g = 2.5
+	h.Observe(2)
+	if s1.Counters["c"] != 41 || s1.Histograms["h"].Counts[1] != 1 {
+		t.Fatal("snapshot aliased live state")
+	}
+	s2 := r.Snapshot()
+	if s2.Counters["c"] != 100 || s2.Gauges["g"] != 2.5 || s2.Histograms["h"].Counts[1] != 2 {
+		t.Fatalf("second snapshot stale: %+v", s2)
+	}
+}
+
+// TestMarshalDeterministic: identical snapshots serialize to identical
+// bytes with sorted keys, indentation and a trailing newline.
+func TestMarshalDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		var a, b, z int64 = 1, 2, 3
+		// Register in an order different from sorted to prove sorting
+		// comes from serialization, not registration order.
+		r.Counter("zz", &z)
+		r.Counter("aa", &a)
+		r.Counter("mm", &b)
+		r.Gauge("ratio", func() float64 { return 0.1 })
+		r.Label("b", "2")
+		r.Label("a", "1")
+		return r
+	}
+	j1, err := build().Snapshot().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := build().Snapshot().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("identical registries serialized differently:\n%s\n%s", j1, j2)
+	}
+	if !bytes.HasSuffix(j1, []byte("\n")) {
+		t.Error("canonical form must end in newline")
+	}
+	if strings.Index(string(j1), `"aa"`) > strings.Index(string(j1), `"zz"`) {
+		t.Error("counter keys not sorted")
+	}
+	var s Snapshot
+	if err := json.Unmarshal(j1, &s); err != nil {
+		t.Fatalf("canonical form does not round-trip: %v", err)
+	}
+	if s.SchemaVersion != SchemaVersion || s.Counters["mm"] != 2 {
+		t.Fatalf("round-trip lost data: %+v", s)
+	}
+
+	var buf bytes.Buffer
+	if err := build().Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), j1) {
+		t.Error("WriteJSON differs from MarshalIndent")
+	}
+}
+
+func TestDiffSnapshots(t *testing.T) {
+	mk := func(mut func(*Registry, *int64, *Hist)) Snapshot {
+		r := NewRegistry()
+		var c int64 = 5
+		h := NewHist(1, 2, 3, 4, 5, 6, 7)
+		r.Label("config", "z15")
+		r.Counter("c", &c)
+		r.Gauge("g", func() float64 { return 1 })
+		r.Hist("h", &h)
+		mut(r, &c, &h)
+		return r.Snapshot()
+	}
+	same := func(*Registry, *int64, *Hist) {}
+
+	if d := DiffSnapshots(mk(same), mk(same)); len(d) != 0 {
+		t.Fatalf("equal snapshots diff: %v", d)
+	}
+
+	b := mk(func(r *Registry, c *int64, h *Hist) {
+		*c = 6
+		h.Observe(3)
+		r.Label("config", "z14")
+		var extra int64 = 1
+		r.Counter("only_b", &extra)
+	})
+	diffs := DiffSnapshots(mk(same), b)
+	joined := strings.Join(diffs, "\n")
+	for _, want := range []string{"counter c: 5 != 6", "label config", "histogram h", "counter only_b: 0 != 1"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diff missing %q in:\n%s", want, joined)
+		}
+	}
+	// Sorted within each kind.
+	if len(diffs) == 0 || !strings.HasPrefix(diffs[0], "label") {
+		t.Errorf("unexpected diff order: %v", diffs)
+	}
+}

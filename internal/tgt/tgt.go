@@ -10,6 +10,7 @@ import (
 	"zbp/internal/btb"
 	"zbp/internal/hashx"
 	"zbp/internal/history"
+	"zbp/internal/metrics"
 	"zbp/internal/zarch"
 )
 
@@ -91,6 +92,21 @@ type Stats struct {
 	PredPops      int64
 }
 
+// Register exposes every counter under prefix (e.g. "tgt"), with the
+// per-provider array flattened to one name per provider.
+func (s *Stats) Register(r *metrics.Registry, prefix string) {
+	for p := ProvBTB; p < numProviders; p++ {
+		r.Counter(prefix+".provided."+p.String(), &s.Provided[p])
+	}
+	r.Counter(prefix+".ctb_installs", &s.CTBInstalls)
+	r.Counter(prefix+".ctb_updates", &s.CTBUpdates)
+	r.Counter(prefix+".returns_marked", &s.ReturnsMarked)
+	r.Counter(prefix+".blacklists", &s.Blacklists)
+	r.Counter(prefix+".amnesties", &s.Amnesties)
+	r.Counter(prefix+".pred_pushes", &s.PredPushes)
+	r.Counter(prefix+".pred_pops", &s.PredPops)
+}
+
 // Unit bundles the CTB and CRS with figure-9 selection.
 type Unit struct {
 	cfg     Config
@@ -121,6 +137,11 @@ func New(cfg Config) *Unit {
 
 // Stats returns a copy of the counters.
 func (u *Unit) Stats() Stats { return u.stats }
+
+// RegisterMetrics registers the unit's live counters under prefix.
+func (u *Unit) RegisterMetrics(r *metrics.Registry, prefix string) {
+	u.stats.Register(r, prefix)
+}
 
 func (u *Unit) ctbIndex(g history.GPV) int {
 	// The CTB is indexed solely as a function of the prior code path

@@ -220,6 +220,12 @@ func (tr *Reader) Next() (Rec, bool) {
 			tr.err = fmt.Errorf("trace: reading ctx: %w", err)
 			return Rec{}, false
 		}
+		if v > 0xffff {
+			// The writer only ever encodes uint16 contexts; a larger
+			// value is corruption, not something to silently truncate.
+			tr.err = fmt.Errorf("trace: context id %d out of range", v)
+			return Rec{}, false
+		}
 		tr.ctx = uint16(v)
 	}
 	rec.CtxID = tr.ctx
