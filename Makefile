@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench exp race cover fuzz golden
+.PHONY: all build test vet bench bench-smoke bench-allocs exp race cover fuzz golden
 
 all: build vet test
 
@@ -18,6 +18,17 @@ race:
 
 bench:
 	go test -bench=. -benchmem .
+
+# Fast CI benchmark smoke: the packed-replay headline and the Table 1
+# capacity sweep, one iteration each — catches crashes and gross
+# regressions without a long benchmark run.
+bench-smoke:
+	go test -run '^$$' -bench 'PackedReplay|Table1' -benchtime 1x -benchmem .
+
+# Fail if the capacity-sweep allocs/op exceeds the checked-in ceiling
+# (scripts/bench_allocs_ceiling.txt).
+bench-allocs:
+	sh scripts/bench_allocs.sh
 
 exp:
 	go run ./cmd/zexp -scale 2000000

@@ -6,11 +6,14 @@
 package zbp
 
 import (
+	"io"
 	"testing"
+	"time"
 
 	"zbp/internal/btb"
 	"zbp/internal/core"
 	"zbp/internal/dirpred"
+	"zbp/internal/exp"
 	"zbp/internal/sat"
 	"zbp/internal/sim"
 	"zbp/internal/trace"
@@ -22,30 +25,30 @@ import (
 const benchInstr = 200_000
 
 // benchRun simulates benchInstr instructions per iteration and returns
-// the last result. The workload program is built once and rewound with
-// Reset between iterations, so the per-iteration allocation profile
-// reflects the simulator hot path, not program construction.
+// the last result. The workload is materialized into a packed trace
+// once, outside the timed region, and every iteration replays a reset
+// cursor over the shared buffer — so ns/op and allocs/op reflect the
+// simulator hot path for every workload (resettable or not), and the
+// one-time materialization cost is reported separately.
 func benchRun(b *testing.B, cfg sim.Config, wl string, seed uint64) sim.Result {
 	b.Helper()
 	b.ReportAllocs()
-	src, err := workload.Make(wl, seed)
+	t0 := time.Now()
+	p, err := workload.MakePacked(wl, seed, benchInstr)
 	if err != nil {
 		b.Fatal(err)
 	}
-	rst, canReset := src.(trace.Resetter)
+	matNS := float64(time.Since(t0).Nanoseconds())
+	cur := p.Cursor()
 	var res sim.Result
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if i > 0 {
-			if canReset {
-				rst.Reset()
-			} else if src, err = workload.Make(wl, seed); err != nil {
-				b.Fatal(err)
-			}
-		}
-		res = sim.RunWorkload(cfg, src, benchInstr)
+		cur.Reset()
+		res = sim.RunWorkload(cfg, &cur, benchInstr)
 	}
 	b.ReportMetric(res.MPKI(), "MPKI")
 	b.ReportMetric(res.IPC(), "IPC")
+	b.ReportMetric(matNS, "materialize-ns")
 	return res
 }
 
@@ -245,13 +248,16 @@ func BenchmarkSBHTPathology(b *testing.B) {
 			cfg.Core.Dir.PHTEnabled = false
 			cfg.Core.Dir.PerceptronEnabled = false
 			b.ReportAllocs()
-			src := weakLoopSrc()
+			p, err := trace.Pack(weakLoopSrc(), benchInstr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cur := p.Cursor()
 			var res sim.Result
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if i > 0 {
-					src.(trace.Resetter).Reset()
-				}
-				res = sim.RunWorkload(cfg, src, benchInstr)
+				cur.Reset()
+				res = sim.RunWorkload(cfg, &cur, benchInstr)
 			}
 			b.ReportMetric(float64(res.Threads[0].DynWrongDir), "wrong-directions")
 		})
@@ -301,6 +307,88 @@ func BenchmarkCPREDPower(b *testing.B) {
 	res := benchRun(b, sim.Z15(), "micro", 42)
 	if res.Core.Searches > 0 {
 		b.ReportMetric(100*float64(res.Core.PowerGatedPHT)/float64(res.Core.Searches), "pht-gated-%")
+	}
+}
+
+// drain pulls exactly n records from src through the Source interface
+// (the same hop the simulator front end pays per instruction) and
+// returns a checksum so the loop cannot be optimized away.
+func drain(b *testing.B, src trace.Source, n int) uint64 {
+	b.Helper()
+	var sum uint64
+	for i := 0; i < n; i++ {
+		r, ok := src.Next()
+		if !ok {
+			b.Fatalf("source ended after %d of %d records", i, n)
+		}
+		sum += uint64(r.Addr) + uint64(r.Len)
+	}
+	return sum
+}
+
+// BenchmarkPackedReplay is the tentpole's headline microbenchmark: the
+// per-record cost of one trace REPLAY, as a sweep job pays it.
+//
+// In a multi-point campaign every design point needs its own pass over
+// the workload. On the streaming path that means what runner.Workload
+// does inside each pool job: build the generator (workload.Make —
+// program construction, behavior closures, rng) and run it from
+// scratch. On the packed path the buffer was materialized once for the
+// whole campaign, and a replay is a reset O(1) cursor over flat
+// pre-validated columns. Both sides drain through the same Source
+// interface hop the simulator front end uses.
+func BenchmarkPackedReplay(b *testing.B) {
+	const n = benchInstr
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src, err := workload.Make("lspr", 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			drain(b, src, n)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/instr")
+	})
+	b.Run("packed", func(b *testing.B) {
+		t0 := time.Now()
+		p, err := workload.MakePacked("lspr", 42, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		matNS := float64(time.Since(t0).Nanoseconds())
+		b.ReportAllocs()
+		cur := p.Cursor()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cur.Reset()
+			drain(b, &cur, n)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/instr")
+		b.ReportMetric(matNS, "materialize-ns")
+	})
+}
+
+// BenchmarkE11AblationEndToEnd runs the whole E11 ablation experiment
+// (10 z15 variants over the mixed workload) per iteration, in both
+// source modes: the end-to-end wall-clock view of materialize-once vs
+// regenerate-per-point for a real multi-point study.
+func BenchmarkE11AblationEndToEnd(b *testing.B) {
+	const scale = 60_000
+	for _, mode := range []string{"streaming", "packed"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				o := exp.Options{W: io.Discard, Scale: scale, Seed: 42}
+				if mode == "packed" {
+					// A fresh materializer per iteration charges the
+					// one-time generation cost to the packed side too.
+					o.Mat = workload.NewMaterializer()
+				}
+				exp.E11Ablation(o)
+			}
+		})
 	}
 }
 

@@ -93,13 +93,16 @@ func main() {
 
 	var srcs []trace.Source
 	if *tr != "" {
-		f, err := os.Open(*tr)
+		// Load the whole file into the packed form with one sequential
+		// decode; the simulation then replays a pre-validated cursor
+		// with no per-record decode in the hot loop.
+		p, err := trace.LoadPackedFile(*tr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "zsim:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		srcs = append(srcs, trace.Limit(trace.NewReader(f), *n))
+		cur := p.CursorN(*n)
+		srcs = append(srcs, &cur)
 	} else {
 		src, err := workload.Make(*wl, *seed)
 		if err != nil {

@@ -40,49 +40,33 @@ func main() {
 	}
 }
 
+// generate materializes the workload into a packed buffer (one
+// generation pass, every record validated) and encodes it to path.
 func generate(wl string, seed uint64, n int, path string) {
-	src, err := workload.Make(wl, seed)
+	p, err := workload.MakePacked(wl, seed, n)
 	if err != nil {
 		fatal(err)
 	}
-	f, err := os.Create(path)
+	if err := p.WriteFile(path); err != nil {
+		fatal(err)
+	}
+	st, err := os.Stat(path)
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
-	w := trace.NewWriter(f)
-	for i := 0; i < n; i++ {
-		r, ok := src.Next()
-		if !ok {
-			break
-		}
-		if err := w.Write(r); err != nil {
-			fatal(err)
-		}
-	}
-	if err := w.Flush(); err != nil {
-		fatal(err)
-	}
-	st, err := f.Stat()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("wrote %d records to %s (%.2f bytes/record)\n",
-		w.Count(), path, float64(st.Size())/float64(w.Count()))
+	fmt.Printf("wrote %d records to %s (%.2f bytes/record, %.1f MB packed in memory)\n",
+		p.Len(), path, float64(st.Size())/float64(p.Len()),
+		float64(p.SizeBytes())/(1<<20))
 }
 
+// summarize round-trips the file through the packed form — a single
+// sequential decode — and reports from the in-memory buffer.
 func summarize(path string) {
-	f, err := os.Open(path)
+	p, err := trace.LoadPackedFile(path)
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
-	r := trace.NewReader(f)
-	st := trace.Collect(r, 0)
-	if err := r.Err(); err != nil {
-		fatal(err)
-	}
-	printStats(path, st)
+	printStats(path, p.Stats())
 }
 
 func printStats(name string, st trace.Stats) {

@@ -16,6 +16,7 @@ import (
 	"zbp/internal/runner"
 	"zbp/internal/sat"
 	"zbp/internal/sim"
+	"zbp/internal/workload"
 	"zbp/internal/zarch"
 )
 
@@ -42,6 +43,14 @@ type Options struct {
 	// as <id>-b<batch>-j<job>-<name>.json, so experiment runs can be
 	// diffed in CI. The directory must exist.
 	StatsDir string
+	// Mat, when non-nil, enables the materialize-once pipeline: each
+	// (workload, seed, scale) is generated and packed a single time —
+	// shared across every experiment handed the same Materializer — and
+	// all sweep points replay lock-free cursors over the shared buffer.
+	// Results are byte-identical to streaming generation (enforced by
+	// the packed-vs-streaming equivalence tests); only wall clock and
+	// allocation behavior change.
+	Mat *workload.Materializer
 	// batchSeq numbers runner batches within one experiment for stable
 	// stats-file names; set via WithStats.
 	batchSeq *int
@@ -107,13 +116,24 @@ func ByID(id string) (Experiment, bool) {
 }
 
 // job builds one pool job for the named workload at experiment scale.
+// With a Materializer set, the job replays a cursor over the shared
+// packed trace instead of regenerating the workload in the worker.
 func job(o Options, cfg sim.Config, name string, seed uint64) runner.Job {
-	return runner.Job{
+	j := runner.Job{
 		Name:         name,
 		Config:       cfg,
-		Source:       runner.Workload(name, seed),
 		Instructions: o.scale(),
 	}
+	if o.Mat != nil {
+		p, err := o.Mat.Get(name, seed, o.scale())
+		if err != nil {
+			panic(fmt.Errorf("exp: materializing %s: %w", name, err))
+		}
+		j.Source = runner.Packed(p)
+	} else {
+		j.Source = runner.Workload(name, seed)
+	}
+	return j
 }
 
 // runBatch fans jobs out across the experiment's runner pool and

@@ -356,8 +356,20 @@ func E10SBHT(o Options) {
 		{"full z15, SBHT/SPHT 8 entries", 8, false},
 		{"full z15, SBHT/SPHT disabled", 0, false},
 	}
-	// The pathological workload is built per job, not per experiment: a
-	// SourceSpec gives every worker its own stream state.
+	// With materialization on, the pathological workload is generated
+	// once and every variant replays the shared packed buffer; in
+	// streaming mode it is built per job, so every worker owns its own
+	// stream state.
+	spec := func() ([]trace.Source, error) {
+		return []trace.Source{weakLoop(o.Seed)}, nil
+	}
+	if o.Mat != nil {
+		packed, err := trace.Pack(weakLoop(o.Seed), o.scale())
+		if err != nil {
+			panic(fmt.Errorf("exp: packing weak-loop workload: %w", err))
+		}
+		spec = runner.Packed(packed)
+	}
 	jobs := make([]runner.Job, len(variants))
 	for i, v := range variants {
 		cfg := sim.Z15()
@@ -367,11 +379,9 @@ func E10SBHT(o Options) {
 			cfg.Core.Dir.PerceptronEnabled = false
 		}
 		jobs[i] = runner.Job{
-			Name:   v.label,
-			Config: cfg,
-			Source: func() ([]trace.Source, error) {
-				return []trace.Source{weakLoop(o.Seed)}, nil
-			},
+			Name:         v.label,
+			Config:       cfg,
+			Source:       spec,
 			Instructions: o.scale(),
 		}
 	}

@@ -37,6 +37,27 @@ func Workload(name string, seed uint64) SourceSpec {
 	}
 }
 
+// Packed returns a SourceSpec replaying a shared, pre-materialized
+// trace. Each job gets its own value-type cursor over the same
+// immutable buffer, so any number of workers replay concurrently
+// without locks, per-record decode, or regeneration — the
+// materialize-once, replay-many path sweep campaigns use.
+func Packed(p *trace.Packed) SourceSpec {
+	return func() ([]trace.Source, error) {
+		c := p.Cursor()
+		return []trace.Source{&c}, nil
+	}
+}
+
+// PackedSMT2 returns a SourceSpec running two shared packed traces,
+// one per hardware thread.
+func PackedSMT2(a, b *trace.Packed) SourceSpec {
+	return func() ([]trace.Source, error) {
+		ca, cb := a.Cursor(), b.Cursor()
+		return []trace.Source{&ca, &cb}, nil
+	}
+}
+
 // SMT2 returns a SourceSpec running two named workloads, one per
 // hardware thread.
 func SMT2(nameA string, seedA uint64, nameB string, seedB uint64) SourceSpec {
@@ -148,7 +169,13 @@ func runOne(job Job) (res Result) {
 	}
 	if job.Instructions > 0 {
 		for i, src := range srcs {
-			srcs[i] = trace.Limit(src, job.Instructions)
+			// Packed cursors bound themselves: no Limit wrapper, so the
+			// hot loop keeps a single interface hop per record.
+			if c, ok := src.(*trace.Cursor); ok {
+				c.Limit(job.Instructions)
+			} else {
+				srcs[i] = trace.Limit(src, job.Instructions)
+			}
 		}
 	}
 	res.Res = sim.New(job.Config, srcs).Run(0)

@@ -1,0 +1,113 @@
+package sim_test
+
+import (
+	"testing"
+
+	"zbp/internal/core"
+	"zbp/internal/sim"
+	"zbp/internal/trace"
+	"zbp/internal/workload"
+)
+
+// TestPackedStreamingEquivalence is the correctness contract of the
+// materialize-once pipeline: for EVERY workload preset and EVERY
+// machine generation, simulating the streaming generator and replaying
+// the packed buffer of the same workload must produce byte-identical
+// stats JSON. This is what lets experiments, tuning studies and CLIs
+// switch to packed replay without invalidating a single golden file.
+func TestPackedStreamingEquivalence(t *testing.T) {
+	const (
+		seed  = 42
+		scale = 20_000
+	)
+	gens := core.Generations()
+	if testing.Short() {
+		gens = gens[len(gens)-1:] // z15 only
+	}
+	for _, wl := range workload.Names() {
+		wl := wl
+		t.Run(wl, func(t *testing.T) {
+			t.Parallel()
+			packed, err := workload.MakePacked(wl, seed, scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if packed.Len() != scale {
+				t.Fatalf("materialized %d records, want %d", packed.Len(), scale)
+			}
+			for _, gen := range gens {
+				cfg := sim.ForGeneration(gen)
+
+				stream, err := workload.Make(wl, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sres := sim.RunWorkload(cfg, stream, scale)
+				sjs, err := sres.StatsJSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				cur := packed.Cursor()
+				pres := sim.RunWorkload(cfg, &cur, scale)
+				pjs, err := pres.StatsJSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if string(sjs) != string(pjs) {
+					t.Errorf("%s: packed replay stats JSON differs from streaming run", gen.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestPackedReplayStability: two cursor replays of the same buffer
+// (one fresh, one reset) must match each other and a file round-trip
+// of the buffer — materialization is a fixed point of the pipeline.
+func TestPackedReplayStability(t *testing.T) {
+	const (
+		seed  = 42
+		scale = 20_000
+	)
+	cfg := sim.Z15()
+	packed, err := workload.MakePacked("lspr", seed, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cur := packed.Cursor()
+	firstRes := sim.RunWorkload(cfg, &cur, scale)
+	first, err := firstRes.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.Reset()
+	secondRes := sim.RunWorkload(cfg, &cur, scale)
+	second, err := secondRes.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("reset cursor replay differs from first replay")
+	}
+
+	path := t.TempDir() + "/lspr.zbpt"
+	if err := packed.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.LoadPackedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := loaded.Cursor()
+	thirdRes := sim.RunWorkload(cfg, &lc, scale)
+	third, err := thirdRes.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(third) {
+		t.Error("file round-trip replay differs from in-memory replay")
+	}
+}

@@ -260,8 +260,15 @@ func (s *Sim) result() Result {
 }
 
 // RunWorkload is the one-call convenience used by examples, CLIs and
-// benchmarks: simulate n instructions of src on cfg.
+// benchmarks: simulate n instructions of src on cfg. A packed cursor
+// (trace.Packed replay) takes a fast path: its records were validated
+// at materialization and it bounds itself, so the per-instruction loop
+// skips the Limit wrapper's extra interface hop.
 func RunWorkload(cfg Config, src trace.Source, n int) Result {
+	if c, ok := src.(*trace.Cursor); ok {
+		c.Limit(n)
+		return New(cfg, []trace.Source{c}).Run(0)
+	}
 	s := New(cfg, []trace.Source{trace.Limit(src, n)})
 	return s.Run(0)
 }

@@ -39,13 +39,13 @@ func FuzzReadTrace(f *testing.F) {
 	valid := validTraceBytes(f)
 	f.Add(valid)
 	f.Add([]byte{})
-	f.Add([]byte("ZBPT"))                       // truncated header
-	f.Add([]byte("ZBPT\x02"))                   // bad version
-	f.Add([]byte("XXXX\x01\x00"))               // bad magic
-	f.Add(append([]byte("ZBPT\x01"), 0xff))     // invalid length code
-	f.Add(append([]byte("ZBPT\x01"), 0x27))     // flags then truncated varints
-	f.Add(valid[:len(valid)-1])                 // truncated tail
-	f.Add(append(valid, 0x07))                  // trailing garbage kind
+	f.Add([]byte("ZBPT"))                   // truncated header
+	f.Add([]byte("ZBPT\x02"))               // bad version
+	f.Add([]byte("XXXX\x01\x00"))           // bad magic
+	f.Add(append([]byte("ZBPT\x01"), 0xff)) // invalid length code
+	f.Add(append([]byte("ZBPT\x01"), 0x27)) // flags then truncated varints
+	f.Add(valid[:len(valid)-1])             // truncated tail
+	f.Add(append(valid, 0x07))              // trailing garbage kind
 	f.Add(append([]byte("ZBPT\x01"), bytes.Repeat([]byte{0xac}, 64)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))

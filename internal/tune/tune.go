@@ -72,6 +72,12 @@ type Study struct {
 	Score func(avgMPKI, avgIPC float64) float64
 	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallelism int
+	// Streaming disables the materialize-once pipeline: each design
+	// point regenerates its workloads from scratch, the pre-PR-3
+	// behavior. Results are byte-identical either way (the packed path
+	// replays the exact generated stream); materialized studies only
+	// generate each workload once instead of once per design point.
+	Streaming bool
 }
 
 // points enumerates the cartesian product of axis values.
@@ -119,9 +125,23 @@ func (s *Study) Run() []Outcome {
 			panic(fmt.Sprintf("tune: axis %q has no values", a.Name))
 		}
 	}
+	// Build one SourceSpec per workload up front. The default path
+	// materializes each workload exactly once — the whole cartesian
+	// product then replays shared packed buffers — and doubles as the
+	// eager workload-name validation.
+	specs := make(map[string]runner.SourceSpec, len(s.Workloads))
 	for _, w := range s.Workloads {
-		if _, err := workload.Make(w, 1); err != nil {
-			panic(err)
+		if s.Streaming {
+			if _, err := workload.Make(w, 1); err != nil {
+				panic(err)
+			}
+			specs[w] = runner.Workload(w, s.Seed)
+		} else {
+			p, err := workload.MakePacked(w, s.Seed, s.Instructions)
+			if err != nil {
+				panic(err)
+			}
+			specs[w] = runner.Packed(p)
 		}
 	}
 	score := s.Score
@@ -148,7 +168,7 @@ func (s *Study) Run() []Outcome {
 			jobs = append(jobs, runner.Job{
 				Name:         w,
 				Config:       cfg,
-				Source:       runner.Workload(w, s.Seed),
+				Source:       specs[w],
 				Instructions: s.Instructions,
 			})
 		}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"zbp/internal/trace"
+)
+
+// MakePacked generates n instructions of the named workload once and
+// packs them into an immutable trace.Packed for repeated replay. This
+// is the materialize-once entry point sweep campaigns use: generation
+// and validation are paid a single time, then every design point
+// replays a zero-decode cursor over the shared buffer.
+func MakePacked(name string, seed uint64, n int) (*trace.Packed, error) {
+	src, err := Make(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	p, err := trace.Pack(src, n)
+	if err != nil {
+		return nil, fmt.Errorf("workload: packing %s: %w", name, err)
+	}
+	return p, nil
+}
+
+// Materializer caches packed workload traces by (name, seed, budget),
+// so a whole experiment campaign — many experiments sweeping many
+// configurations over the same workloads — generates each workload
+// exactly once for the entire run. The cache is safe for concurrent
+// use; the cached buffers are immutable and shared by reference.
+type Materializer struct {
+	mu sync.Mutex
+	m  map[matKey]*trace.Packed
+}
+
+type matKey struct {
+	name string
+	seed uint64
+	n    int
+}
+
+// NewMaterializer returns an empty cache.
+func NewMaterializer() *Materializer {
+	return &Materializer{m: make(map[matKey]*trace.Packed)}
+}
+
+// Get returns the packed trace for (name, seed, n), materializing it
+// on first use. Concurrent callers of the same key block until the
+// single materialization finishes rather than duplicating the work.
+func (mz *Materializer) Get(name string, seed uint64, n int) (*trace.Packed, error) {
+	key := matKey{name, seed, n}
+	mz.mu.Lock()
+	defer mz.mu.Unlock()
+	if p, ok := mz.m[key]; ok {
+		return p, nil
+	}
+	p, err := MakePacked(name, seed, n)
+	if err != nil {
+		return nil, err
+	}
+	mz.m[key] = p
+	return p, nil
+}
+
+// Count returns the number of distinct traces materialized so far.
+func (mz *Materializer) Count() int {
+	mz.mu.Lock()
+	defer mz.mu.Unlock()
+	return len(mz.m)
+}
+
+// FootprintBytes returns the total heap footprint of every cached
+// buffer, for logging and capacity planning.
+func (mz *Materializer) FootprintBytes() int {
+	mz.mu.Lock()
+	defer mz.mu.Unlock()
+	total := 0
+	for _, p := range mz.m {
+		total += p.SizeBytes()
+	}
+	return total
+}

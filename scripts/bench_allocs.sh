@@ -1,0 +1,39 @@
+#!/bin/sh
+# Allocation-regression guard for the simulation hot path.
+#
+# Runs the Table 1 capacity sweep (the benchmark every PR touches:
+# full z15 model, packed-cursor replay, three BTB1 capacities) with
+# -benchmem and fails if any sub-benchmark's allocs/op exceeds the
+# checked-in ceiling. The ceiling lives in scripts/bench_allocs_ceiling.txt
+# with ~25% headroom over the measured value; raise it only with a
+# justification in the commit that does so.
+#
+# allocs/op here is per benchmark iteration (one full 200k-instruction
+# simulation): predictor-structure construction plus any per-record
+# leakage. Trace materialization happens outside the timed region, so a
+# regression means the simulator itself started allocating.
+set -eu
+cd "$(dirname "$0")/.."
+
+ceiling=$(cat scripts/bench_allocs_ceiling.txt)
+out=$(go test -run '^$' -bench '^BenchmarkTable1CapacitySweep$' -benchmem -benchtime 2x .)
+echo "$out"
+
+max=$(echo "$out" | awk '
+  / allocs\/op/ {
+    for (i = 2; i <= NF; i++)
+      if ($i == "allocs/op" && $(i-1) + 0 > m) m = $(i-1) + 0
+  }
+  END { print m + 0 }')
+
+if [ "$max" -eq 0 ]; then
+  echo "bench_allocs: failed to parse allocs/op from benchmark output" >&2
+  exit 1
+fi
+
+echo "bench_allocs: max allocs/op = $max (ceiling $ceiling)"
+if [ "$max" -gt "$ceiling" ]; then
+  echo "bench_allocs: FAIL — capacity-sweep allocs/op $max exceeds ceiling $ceiling" >&2
+  exit 1
+fi
+echo "bench_allocs: OK"

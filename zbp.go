@@ -68,6 +68,25 @@ func NewWorkload(name string, seed uint64) (Source, error) {
 // Limit bounds a source to n records.
 func Limit(src Source, n int) Source { return trace.Limit(src, n) }
 
+// Packed is an immutable, pre-validated, fully materialized trace.
+// Build it once (MaterializeWorkload, trace.Pack or trace.LoadPacked)
+// and replay it from any number of concurrent simulations via
+// value-type cursors — the materialize-once, replay-many path every
+// sweep in this repository uses.
+type Packed = trace.Packed
+
+// MaterializeWorkload generates n instructions of the named workload
+// once and packs them for repeated replay:
+//
+//	p, _ := zbp.MaterializeWorkload("lspr", 42, 1_000_000)
+//	c := p.Cursor()
+//	res := zbp.Run(zbp.Z15(), &c, 1_000_000)
+//
+// Replays are byte-identical to the streaming source.
+func MaterializeWorkload(name string, seed uint64, n int) (*Packed, error) {
+	return workload.MakePacked(name, seed, n)
+}
+
 // Run simulates n instructions of src on cfg (single thread).
 func Run(cfg Config, src Source, n int) Result {
 	return sim.RunWorkload(cfg, src, n)
