@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench bench-smoke bench-allocs exp race cover fuzz golden
+.PHONY: all build test vet bench bench-smoke bench-allocs exp race cover fuzz golden serve serve-smoke staticcheck
 
 all: build vet test
 
@@ -44,3 +44,17 @@ fuzz:
 # Refresh the golden stats snapshots after an intentional model change.
 golden:
 	go test ./internal/sim -run Golden -update
+
+# Run the simulation service locally.
+serve:
+	go run ./cmd/zbpd
+
+# Boot zbpd, run one simulate request, check /healthz and /metrics,
+# and require a clean SIGTERM drain. Wired into CI.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# Static analysis beyond go vet; staticcheck is installed on demand in
+# CI (go run pins the version without touching go.mod).
+staticcheck:
+	go run honnef.co/go/tools/cmd/staticcheck@2025.1 ./...

@@ -1,0 +1,92 @@
+// Command zbpd is the always-on simulation service: the predictor
+// model behind an HTTP/JSON API with bounded-queue backpressure,
+// per-request deadlines and graceful shutdown.
+//
+// Usage:
+//
+//	zbpd -addr :8347 -workers 4 -queue 16
+//
+//	curl -s localhost:8347/v1/simulate -d '{"workload":"lspr","config":"z15","instructions":1000000}'
+//	curl -s localhost:8347/v1/sweep -d '{"configs":["z14","z15"],"workloads":["lspr","micro"]}'
+//	curl -s localhost:8347/healthz
+//	curl -s localhost:8347/metrics
+//
+// On SIGINT/SIGTERM the listener stops, in-flight simulations drain
+// (bounded by -grace), and only then does the process exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"zbp/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8347", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 16, "accepted requests waiting beyond the running ones before 429")
+		maxN     = flag.Int("max-instructions", 20_000_000, "per-thread instruction cap per request")
+		defN     = flag.Int("default-instructions", 1_000_000, "instruction budget when a request omits one")
+		maxCells = flag.Int("max-sweep-cells", 64, "sweep grid size cap")
+		timeout  = flag.Duration("timeout", 60*time.Second, "default per-request simulation deadline")
+		maxTO    = flag.Duration("max-timeout", 5*time.Minute, "upper clamp on request-supplied deadlines")
+		grace    = flag.Duration("grace", 30*time.Second, "shutdown drain budget for in-flight work")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		MaxInstructions:     *maxN,
+		DefaultInstructions: *defN,
+		MaxSweepCells:       *maxCells,
+		DefaultTimeout:      *timeout,
+		MaxTimeout:          *maxTO,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("zbpd: listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "zbpd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Printf("zbpd: signal received, draining (grace %v)", *grace)
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		// Shutdown stops the listener and waits for handlers — which
+		// themselves wait on their queued simulations — up to the
+		// grace budget; past it, Close force-drops connections, which
+		// cancels the request contexts and stops the sims.
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("zbpd: grace expired, force closing: %v", err)
+			hs.Close()
+		}
+		// With no handlers left there are no queue submitters; drain
+		// whatever the workers still hold.
+		srv.Close()
+		log.Printf("zbpd: drained, exiting")
+	}
+}

@@ -11,7 +11,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +41,7 @@ func main() {
 		statsJS = flag.String("stats-json", "", "write the schema-versioned stats snapshot to this file (- for stdout)")
 		events  = flag.String("events", "", "stream the cycle-level event log as JSONL to this file")
 		lw      = flag.Bool("listworkloads", false, "list workloads and exit")
+		runTO   = flag.Duration("timeout", 0, "abort the simulation after this wall-clock budget (0 = none); a timed-out run reports the truncated prefix")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -132,7 +135,23 @@ func main() {
 		evSink = sim.NewJSONLSink(f)
 		s.SetEventSink(evSink)
 	}
-	res := s.Run(0)
+	ctx := context.Background()
+	if *runTO > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *runTO)
+		defer cancel()
+	}
+	res, err := s.RunCtx(ctx, 0)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		// The truncated prefix is still a valid report; say so and
+		// keep going.
+		fmt.Fprintf(os.Stderr, "zsim: timeout after %v, reporting truncated run (%d instructions)\n",
+			*runTO, res.Instructions())
+	case err != nil:
+		fmt.Fprintln(os.Stderr, "zsim:", err)
+		os.Exit(1)
+	}
 	if evSink != nil {
 		if err := evSink.Flush(); err != nil {
 			fmt.Fprintln(os.Stderr, "zsim: event log:", err)

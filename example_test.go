@@ -13,7 +13,10 @@ func ExampleRun() {
 	if err != nil {
 		panic(err)
 	}
-	res := zbp.Run(zbp.Z15(), src, 100_000)
+	res, err := zbp.Run(zbp.Z15(), src, 100_000)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("instructions:", res.Instructions())
 	fmt.Println("all retired:", res.Instructions() == 100_000)
 	fmt.Println("well predicted:", res.Accuracy() > 0.95)

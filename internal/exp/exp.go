@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -142,7 +143,7 @@ func job(o Options, cfg sim.Config, name string, seed uint64) runner.Job {
 // stats snapshot is serialized for machine diffing.
 func runBatch(o Options, jobs []runner.Job) []sim.Result {
 	pool := runner.Pool{Parallelism: o.Parallelism}
-	results := runner.Results(pool.Run(jobs))
+	results := runner.Results(pool.Run(context.Background(), jobs))
 	if o.StatsDir != "" {
 		batch := 0
 		if o.batchSeq != nil {

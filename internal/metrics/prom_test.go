@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSampleRe matches one exposition sample line:
+// name{label="v",...} value
+var promSampleRe = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})? (NaN|[-+]?(Inf|[0-9].*))$`)
+
+func promSnapshot(t *testing.T) Snapshot {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Label("config", "z15")
+	reg.Label("weird", `va"l\ue`)
+	c1, c2 := int64(42), int64(0)
+	reg.Counter("sim.cycles", &c1)
+	reg.Counter("core.searches", &c2)
+	reg.Gauge("sim.mpki", func() float64 { return 4.25 })
+	h := NewHist(1, 2, 4, 8, 16, 32, 64)
+	for v := int64(0); v < 100; v++ {
+		h.Observe(v)
+	}
+	reg.Hist("front.gap", &h)
+	return reg.Snapshot()
+}
+
+func TestWritePrometheusParseable(t *testing.T) {
+	var b strings.Builder
+	if err := promSnapshot(t).WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("output does not end in a newline")
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Errorf("malformed TYPE line: %q", line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("unknown type in %q", line)
+			}
+			continue
+		}
+		if !promSampleRe.MatchString(line) {
+			t.Errorf("unparseable sample line: %q", line)
+		}
+	}
+}
+
+func TestWritePrometheusContent(t *testing.T) {
+	var b strings.Builder
+	if err := promSnapshot(t).WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sim_cycles counter\n",
+		`sim_cycles{config="z15",weird="va\"l\\ue"} 42` + "\n",
+		"# TYPE sim_mpki gauge\n",
+		"sim_mpki{", "} 4.25\n",
+		"# TYPE front_gap histogram\n",
+		`le="1"`, `le="+Inf"`,
+		"front_gap_count{",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// Buckets are cumulative and the +Inf bucket equals _count equals
+	// total observations.
+	var infVal, countVal string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "front_gap_bucket") && strings.Contains(line, `le="+Inf"`) {
+			infVal = line[strings.LastIndex(line, " ")+1:]
+		}
+		if strings.HasPrefix(line, "front_gap_count") {
+			countVal = line[strings.LastIndex(line, " ")+1:]
+		}
+	}
+	if infVal != "100" || countVal != "100" {
+		t.Errorf("+Inf bucket %q and _count %q, want 100 and 100", infVal, countVal)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	s := promSnapshot(t)
+	if err := s.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of the same snapshot differ")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"sim.cycles":     "sim_cycles",
+		"thread0.instr":  "thread0_instr",
+		"0weird":         "_0weird",
+		"core:searches":  "core:searches",
+		"with space-bad": "with_space_bad",
+		"":               "_",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromFloatSpecials(t *testing.T) {
+	if got := promFloat(4.25); got != "4.25" {
+		t.Errorf("promFloat(4.25) = %q", got)
+	}
+	inf, _ := strconv.ParseFloat("+Inf", 64)
+	if got := promFloat(inf); got != "+Inf" {
+		t.Errorf("promFloat(+Inf) = %q", got)
+	}
+}

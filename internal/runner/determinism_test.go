@@ -1,6 +1,7 @@
 package runner_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -55,7 +56,7 @@ func TestStatsJSONDeterminism(t *testing.T) {
 	for par := 1; par <= 8; par++ {
 		t.Run(fmt.Sprintf("parallel-%d", par), func(t *testing.T) {
 			pool := &runner.Pool{Parallelism: par}
-			results := pool.Run(jobs)
+			results := pool.Run(context.Background(), jobs)
 			for i, r := range results {
 				if r.Err != nil {
 					t.Fatalf("%s: %v", r.Name, r.Err)
@@ -76,11 +77,11 @@ func TestStatsJSONDeterminism(t *testing.T) {
 func TestPoolZeroJobs(t *testing.T) {
 	for _, par := range []int{0, 1, 4} {
 		pool := &runner.Pool{Parallelism: par}
-		results := pool.Run(nil)
+		results := pool.Run(context.Background(), nil)
 		if len(results) != 0 {
 			t.Errorf("parallelism %d: Run(nil) returned %d results", par, len(results))
 		}
-		results = pool.Run([]runner.Job{})
+		results = pool.Run(context.Background(), []runner.Job{})
 		if len(results) != 0 {
 			t.Errorf("parallelism %d: Run(empty) returned %d results", par, len(results))
 		}
@@ -134,7 +135,7 @@ func TestPoolSharedPackedCursors(t *testing.T) {
 
 	for par := 1; par <= 8; par++ {
 		t.Run(fmt.Sprintf("parallel-%d", par), func(t *testing.T) {
-			results := (&runner.Pool{Parallelism: par}).Run(jobs)
+			results := (&runner.Pool{Parallelism: par}).Run(context.Background(), jobs)
 			if len(results) != len(jobs) {
 				t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
 			}
@@ -180,7 +181,7 @@ func TestPoolJobErrorIsolation(t *testing.T) {
 		Source:       runner.Workload("no-such-workload", 1),
 		Instructions: 5_000,
 	}
-	results := (&runner.Pool{Parallelism: 2}).Run([]runner.Job{ok, bad, ok})
+	results := (&runner.Pool{Parallelism: 2}).Run(context.Background(), []runner.Job{ok, bad, ok})
 	if results[0].Err != nil || results[2].Err != nil {
 		t.Errorf("healthy jobs failed: %v / %v", results[0].Err, results[2].Err)
 	}

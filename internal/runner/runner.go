@@ -10,6 +10,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -90,8 +91,10 @@ type Job struct {
 }
 
 // Result pairs one job with its outcome. Err is non-nil if the source
-// factory failed or the simulation panicked; Res is the zero value in
-// that case.
+// factory failed, the simulation errored (live-lock, cancellation) or
+// panicked. For a canceled job Res holds the partial result of the
+// work done before the cancellation (Truncated set); for other errors
+// it is the zero value.
 type Result struct {
 	Name string
 	Res  sim.Result
@@ -123,9 +126,17 @@ func (p *Pool) workers(n int) int {
 // Run executes every job and returns results in job order. Results are
 // identical regardless of Parallelism: each worker writes only its
 // job's slot and each job builds all of its own state. A panic inside
-// a job (model live-lock, bad workload) is captured into that job's
-// Err; the pool always drains all jobs.
-func (p *Pool) Run(jobs []Job) []Result {
+// a job (bad workload, model bug) is captured into that job's Err; the
+// pool always drains all jobs.
+//
+// ctx cancels the batch: jobs not yet started get Err = ctx.Err()
+// without running, and jobs already in flight stop cooperatively via
+// sim.RunCtx, recording a partial result alongside the error. Run
+// always returns a slice of len(jobs) and never leaks workers.
+func (p *Pool) Run(ctx context.Context, jobs []Job) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]Result, len(jobs))
 	if len(jobs) == 0 {
 		return results
@@ -137,12 +148,22 @@ func (p *Pool) Run(jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runOne(jobs[i])
+				results[i] = runOne(ctx, jobs[i])
 			}
 		}()
 	}
+feed:
 	for i := range jobs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// The batch is canceled: every job from i on was never
+			// handed to a worker, so no one else writes those slots.
+			for j := i; j < len(jobs); j++ {
+				results[j] = Result{Name: jobs[j].Name, Err: fmt.Errorf("runner: job %q: %w", jobs[j].Name, ctx.Err())}
+			}
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
@@ -150,8 +171,10 @@ func (p *Pool) Run(jobs []Job) []Result {
 }
 
 // runOne executes a single job, converting panics into errors so one
-// bad design point cannot take down a whole campaign.
-func runOne(job Job) (res Result) {
+// bad design point cannot take down a whole campaign. The simulation
+// itself runs on the error-returning RunCtx path; the recover is a
+// backstop for panics in source factories and model construction.
+func runOne(ctx context.Context, job Job) (res Result) {
 	res.Name = job.Name
 	defer func() {
 		if r := recover(); r != nil {
@@ -160,6 +183,10 @@ func runOne(job Job) (res Result) {
 	}()
 	if job.Source == nil {
 		res.Err = fmt.Errorf("runner: job %q has no source", job.Name)
+		return res
+	}
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("runner: job %q: %w", job.Name, err)
 		return res
 	}
 	srcs, err := job.Source()
@@ -178,13 +205,16 @@ func runOne(job Job) (res Result) {
 			}
 		}
 	}
-	res.Res = sim.New(job.Config, srcs).Run(0)
+	res.Res, err = sim.New(job.Config, srcs).RunCtx(ctx, 0)
+	if err != nil {
+		res.Err = fmt.Errorf("runner: job %q: %w", job.Name, err)
+	}
 	return res
 }
 
 // Run executes jobs on a default all-cores pool.
-func Run(jobs []Job) []Result {
-	return (&Pool{}).Run(jobs)
+func Run(ctx context.Context, jobs []Job) []Result {
+	return (&Pool{}).Run(ctx, jobs)
 }
 
 // Results unwraps a batch, panicking on the first error. Experiment

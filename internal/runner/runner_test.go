@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -41,8 +42,8 @@ func mixedBatch(t testing.TB) []Job {
 // pool must produce identical sim.Result values for the same jobs —
 // per-thread stats included — regardless of scheduling.
 func TestPoolDeterminism(t *testing.T) {
-	serial := (&Pool{Parallelism: 1}).Run(mixedBatch(t))
-	wide := (&Pool{Parallelism: 8}).Run(mixedBatch(t))
+	serial := (&Pool{Parallelism: 1}).Run(context.Background(), mixedBatch(t))
+	wide := (&Pool{Parallelism: 8}).Run(context.Background(), mixedBatch(t))
 	if len(serial) != len(wide) {
 		t.Fatalf("result count differs: %d vs %d", len(serial), len(wide))
 	}
@@ -61,7 +62,7 @@ func TestPoolDeterminism(t *testing.T) {
 // attached, however the workers interleave.
 func TestPoolOrderPreserved(t *testing.T) {
 	jobs := mixedBatch(t)
-	out := (&Pool{Parallelism: 4}).Run(jobs)
+	out := (&Pool{Parallelism: 4}).Run(context.Background(), jobs)
 	for i, r := range out {
 		if r.Name != jobs[i].Name {
 			t.Errorf("slot %d: got job %q, want %q", i, r.Name, jobs[i].Name)
@@ -82,7 +83,7 @@ func TestPoolPanicDrains(t *testing.T) {
 		{Name: "ok-after", Config: sim.Z15(), Source: Workload("micro", 2), Instructions: 10000},
 	}
 	for _, par := range []int{1, 8} {
-		out := (&Pool{Parallelism: par}).Run(jobs)
+		out := (&Pool{Parallelism: par}).Run(context.Background(), jobs)
 		if out[1].Err == nil || !strings.Contains(out[1].Err.Error(), "synthetic source failure") {
 			t.Fatalf("par=%d: want panic error on job 1, got %v", par, out[1].Err)
 		}
@@ -105,7 +106,7 @@ func TestPoolErrors(t *testing.T) {
 		{Name: "unknown", Config: sim.Z15(), Source: Workload("no-such-workload", 1), Instructions: 1000},
 		{Name: "fine", Config: sim.Z15(), Source: Workload("loops", 1), Instructions: 1000},
 	}
-	out := Run(jobs)
+	out := Run(context.Background(), jobs)
 	if out[0].Err == nil || !strings.Contains(out[0].Err.Error(), "no source") {
 		t.Errorf("want no-source error, got %v", out[0].Err)
 	}
@@ -125,12 +126,12 @@ func TestResultsPanicsOnError(t *testing.T) {
 			t.Fatal("Results did not panic on a failed job")
 		}
 	}()
-	Results(Run([]Job{{Name: "bad", Config: sim.Z15(), Source: Workload("nope", 1)}}))
+	Results(Run(context.Background(), []Job{{Name: "bad", Config: sim.Z15(), Source: Workload("nope", 1)}}))
 }
 
 // TestEmptyBatch: zero jobs is a no-op, not a hang.
 func TestEmptyBatch(t *testing.T) {
-	if out := Run(nil); len(out) != 0 {
+	if out := Run(context.Background(), nil); len(out) != 0 {
 		t.Fatalf("want empty results, got %d", len(out))
 	}
 }

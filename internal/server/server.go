@@ -1,0 +1,579 @@
+// Package server implements zbpd, the always-on simulation service:
+// an HTTP/JSON front end over the repository's trace-driven predictor
+// model. It turns the batch pipeline — materialize-once workload
+// cache, bounded runner pool, cancellable sim.RunCtx — into a
+// long-running process with per-request deadlines, queue backpressure
+// (HTTP 429), Prometheus metrics and graceful drain on shutdown.
+//
+// Endpoints:
+//
+//	POST /v1/simulate  one run: config preset + workload + seed + budget
+//	POST /v1/sweep     a small parameter grid, one result row per cell
+//	GET  /healthz      liveness + queue occupancy
+//	GET  /metrics      live registry in Prometheus text format
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"zbp/internal/core"
+	"zbp/internal/metrics"
+	"zbp/internal/runner"
+	"zbp/internal/sim"
+	"zbp/internal/trace"
+	"zbp/internal/workload"
+)
+
+var (
+	errQueueFull    = errors.New("server: job queue full")
+	errShuttingDown = errors.New("server: shutting down")
+)
+
+// Config sizes the service. The zero value is usable: every field has
+// a production-lean default applied by New.
+type Config struct {
+	// Workers is the number of simulations executing concurrently
+	// (queue consumers). Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth is how many accepted requests may wait beyond the
+	// ones running before submissions are answered 429. Default: 16.
+	QueueDepth int
+	// MaxBodyBytes bounds request bodies. Default: 1 MiB.
+	MaxBodyBytes int64
+	// MaxInstructions bounds the per-thread instruction budget of one
+	// request; it is also the materialized-trace size cap. Default:
+	// 20M.
+	MaxInstructions int
+	// DefaultInstructions is used when a request omits the budget.
+	// Default: 1M.
+	DefaultInstructions int
+	// MaxSweepCells bounds config x workload x seed grid sizes.
+	// Default: 64.
+	MaxSweepCells int
+	// DefaultTimeout bounds a request's simulation time when the
+	// request does not set timeout_ms. Default: 60s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied timeouts. Default: 5m.
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxInstructions <= 0 {
+		c.MaxInstructions = 20_000_000
+	}
+	if c.DefaultInstructions <= 0 {
+		c.DefaultInstructions = 1_000_000
+	}
+	if c.MaxSweepCells <= 0 {
+		c.MaxSweepCells = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// Server is the zbpd service state: the bounded queue, the shared
+// workload cache, and the live metrics registry.
+type Server struct {
+	cfg Config
+	mz  *workload.Materializer
+	q   *queue
+	mux *http.ServeMux
+	reg *metrics.Registry
+
+	// Live service counters, exported via /metrics. Atomics because
+	// handlers bump them concurrently with registry snapshots.
+	requests     atomic.Int64
+	completed    atomic.Int64
+	rejected     atomic.Int64
+	canceled     atomic.Int64
+	failed       atomic.Int64
+	instructions atomic.Int64
+	inflight     atomic.Int64
+}
+
+// New builds a server and starts its worker pool. Callers must Close
+// it (after draining the HTTP layer) to stop the workers.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg: cfg.withDefaults(),
+		mz:  workload.NewMaterializer(),
+	}
+	s.q = newQueue(s.cfg.Workers, s.cfg.QueueDepth)
+	s.reg = s.buildRegistry()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops accepting queue submissions and waits for every accepted
+// simulation to finish. Call it after http.Server.Shutdown has drained
+// the handlers.
+func (s *Server) Close() { s.q.close() }
+
+// buildRegistry wires the service gauges. Everything is a snapshot-time
+// gauge over an atomic, so scrapes are race-free against live traffic.
+func (s *Server) buildRegistry() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	reg.Label("service", "zbpd")
+	gauge := func(name string, v *atomic.Int64) {
+		reg.Gauge(name, func() float64 { return float64(v.Load()) })
+	}
+	gauge("zbpd.requests_total", &s.requests)
+	gauge("zbpd.completed_total", &s.completed)
+	gauge("zbpd.rejected_total", &s.rejected)
+	gauge("zbpd.canceled_total", &s.canceled)
+	gauge("zbpd.failed_total", &s.failed)
+	gauge("zbpd.instructions_total", &s.instructions)
+	gauge("zbpd.inflight", &s.inflight)
+	reg.Gauge("zbpd.queue_depth", func() float64 { return float64(s.q.depth()) })
+	reg.Gauge("zbpd.queue_capacity", func() float64 { return float64(s.cfg.QueueDepth) })
+	reg.Gauge("zbpd.workers", func() float64 { return float64(s.cfg.Workers) })
+	reg.Gauge("zbpd.mat_traces", func() float64 { return float64(s.mz.Count()) })
+	reg.Gauge("zbpd.mat_bytes", func() float64 { return float64(s.mz.FootprintBytes()) })
+	return reg
+}
+
+// --- request/response schemas -----------------------------------------
+
+// SimulateRequest is the POST /v1/simulate body.
+type SimulateRequest struct {
+	// Config names a machine preset: zEC12, z13, z14, z15. Default
+	// z15.
+	Config string `json:"config,omitempty"`
+	// Workload names a synthetic workload (see zbp.Workloads).
+	Workload string `json:"workload"`
+	// Workload2, when set, runs on the second hardware thread (SMT2)
+	// with seed+1.
+	Workload2 string `json:"workload2,omitempty"`
+	// Seed defaults to 42, the repository's convention.
+	Seed *uint64 `json:"seed,omitempty"`
+	// Instructions is the per-thread budget; defaults to the server's
+	// DefaultInstructions and is capped at MaxInstructions.
+	Instructions int `json:"instructions,omitempty"`
+	// TimeoutMs bounds simulation wall time for this request (clamped
+	// to the server's MaxTimeout).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// FullStats includes the schema-versioned stats snapshot (the
+	// `zsim -stats-json` payload) in the response.
+	FullStats bool `json:"full_stats,omitempty"`
+}
+
+// SimulateResponse is the POST /v1/simulate reply.
+type SimulateResponse struct {
+	Config       string            `json:"config"`
+	Workload     string            `json:"workload"`
+	Workload2    string            `json:"workload2,omitempty"`
+	Seed         uint64            `json:"seed"`
+	Instructions int64             `json:"instructions"`
+	Branches     int64             `json:"branches"`
+	Cycles       int64             `json:"cycles"`
+	MPKI         float64           `json:"mpki"`
+	IPC          float64           `json:"ipc"`
+	Accuracy     float64           `json:"accuracy"`
+	Truncated    bool              `json:"truncated"`
+	Stats        *metrics.Snapshot `json:"stats,omitempty"`
+}
+
+// SweepRequest is the POST /v1/sweep body: the cartesian product of
+// Configs x Workloads x Seeds, each cell one bounded simulation.
+type SweepRequest struct {
+	Configs      []string `json:"configs,omitempty"` // default ["z15"]
+	Workloads    []string `json:"workloads"`         // required
+	Seeds        []uint64 `json:"seeds,omitempty"`   // default [42]
+	Instructions int      `json:"instructions,omitempty"`
+	TimeoutMs    int      `json:"timeout_ms,omitempty"`
+}
+
+// SweepCell is one grid point's outcome.
+type SweepCell struct {
+	Config       string  `json:"config"`
+	Workload     string  `json:"workload"`
+	Seed         uint64  `json:"seed"`
+	Instructions int64   `json:"instructions"`
+	Cycles       int64   `json:"cycles"`
+	MPKI         float64 `json:"mpki"`
+	IPC          float64 `json:"ipc"`
+	Accuracy     float64 `json:"accuracy"`
+	Truncated    bool    `json:"truncated"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// SweepResponse is the POST /v1/sweep reply, cells in grid order
+// (configs outermost, seeds innermost).
+type SweepResponse struct {
+	Cells []SweepCell `json:"cells"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---------------------------------------------------------
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req SimulateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Config == "" {
+		req.Config = "z15"
+	}
+	seed := uint64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	if req.Instructions == 0 {
+		req.Instructions = s.cfg.DefaultInstructions
+	}
+	gen, err := core.ByName(req.Config)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.validateWorkloads(req.Workload, req.Workload2); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Instructions < 0 || req.Instructions > s.cfg.MaxInstructions {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("instructions %d out of range [1, %d]", req.Instructions, s.cfg.MaxInstructions))
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	var (
+		res    sim.Result
+		runErr error
+	)
+	submitErr := s.enqueue(ctx, func(ctx context.Context) {
+		res, runErr = s.runSimulate(ctx, sim.ForGeneration(gen), req, seed)
+	})
+	if s.replyQueueError(w, submitErr) {
+		return
+	}
+	if runErr == nil && ctx.Err() != nil {
+		// The task was skipped while queued: the deadline or the client
+		// beat the workers to it.
+		runErr = ctx.Err()
+	}
+	if runErr != nil {
+		s.replyRunError(w, runErr)
+		return
+	}
+	s.completed.Add(1)
+	s.instructions.Add(res.Instructions())
+	resp := SimulateResponse{
+		Config:       req.Config,
+		Workload:     req.Workload,
+		Workload2:    req.Workload2,
+		Seed:         seed,
+		Instructions: res.Instructions(),
+		Branches:     res.Branches(),
+		Cycles:       res.Cycles,
+		MPKI:         res.MPKI(),
+		IPC:          res.IPC(),
+		Accuracy:     res.Accuracy(),
+		Truncated:    res.Truncated,
+	}
+	if req.FullStats {
+		snap := res.StatsSnapshot()
+		resp.Stats = &snap
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runSimulate materializes the workload(s) through the shared cache
+// and runs one cancellable simulation.
+func (s *Server) runSimulate(ctx context.Context, cfg sim.Config, req SimulateRequest, seed uint64) (sim.Result, error) {
+	p, err := s.mz.Get(req.Workload, seed, req.Instructions)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	cur := p.Cursor()
+	srcs := []trace.Source{&cur}
+	if req.Workload2 != "" {
+		p2, err := s.mz.Get(req.Workload2, seed+1, req.Instructions)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		cur2 := p2.Cursor()
+		srcs = append(srcs, &cur2)
+	}
+	return sim.New(cfg, srcs).RunCtx(ctx, 0)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req SweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Configs) == 0 {
+		req.Configs = []string{"z15"}
+	}
+	if len(req.Seeds) == 0 {
+		req.Seeds = []uint64{42}
+	}
+	if req.Instructions == 0 {
+		req.Instructions = s.cfg.DefaultInstructions
+	}
+	if req.Instructions < 0 || req.Instructions > s.cfg.MaxInstructions {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("instructions %d out of range [1, %d]", req.Instructions, s.cfg.MaxInstructions))
+		return
+	}
+	cells := len(req.Configs) * len(req.Workloads) * len(req.Seeds)
+	if cells == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("empty sweep grid: need workloads"))
+		return
+	}
+	if cells > s.cfg.MaxSweepCells {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("sweep grid has %d cells, limit %d", cells, s.cfg.MaxSweepCells))
+		return
+	}
+	if err := s.validateWorkloads(req.Workloads...); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	cfgs := make([]sim.Config, len(req.Configs))
+	for i, name := range req.Configs {
+		gen, err := core.ByName(name)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		cfgs[i] = sim.ForGeneration(gen)
+	}
+
+	type cellKey struct {
+		config   string
+		workload string
+		seed     uint64
+	}
+	keys := make([]cellKey, 0, cells)
+	jobs := make([]runner.Job, 0, cells)
+	for ci, cfg := range cfgs {
+		for _, wl := range req.Workloads {
+			for _, seed := range req.Seeds {
+				wl, seed := wl, seed
+				keys = append(keys, cellKey{req.Configs[ci], wl, seed})
+				jobs = append(jobs, runner.Job{
+					Name:   fmt.Sprintf("%s/%s/%d", req.Configs[ci], wl, seed),
+					Config: cfg,
+					// Lazy source: materialization happens inside the
+					// worker under the request context's queue slot,
+					// shared through the singleflight cache.
+					Source: func() ([]trace.Source, error) {
+						p, err := s.mz.Get(wl, seed, req.Instructions)
+						if err != nil {
+							return nil, err
+						}
+						c := p.Cursor()
+						return []trace.Source{&c}, nil
+					},
+					Instructions: req.Instructions,
+				})
+			}
+		}
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	var results []runner.Result
+	submitErr := s.enqueue(ctx, func(ctx context.Context) {
+		// The sweep occupies exactly one queue slot; Parallelism 1
+		// keeps total simulation concurrency equal to the worker
+		// count no matter how many cells the grid has.
+		pool := runner.Pool{Parallelism: 1}
+		results = pool.Run(ctx, jobs)
+	})
+	if s.replyQueueError(w, submitErr) {
+		return
+	}
+	if results == nil {
+		// Skipped while queued.
+		s.replyRunError(w, ctx.Err())
+		return
+	}
+	resp := SweepResponse{Cells: make([]SweepCell, len(results))}
+	for i, r := range results {
+		cell := SweepCell{
+			Config:       keys[i].config,
+			Workload:     keys[i].workload,
+			Seed:         keys[i].seed,
+			Instructions: r.Res.Instructions(),
+			Cycles:       r.Res.Cycles,
+			MPKI:         r.Res.MPKI(),
+			IPC:          r.Res.IPC(),
+			Accuracy:     r.Res.Accuracy(),
+			Truncated:    r.Res.Truncated,
+		}
+		if r.Err != nil {
+			cell.Error = r.Err.Error()
+		}
+		resp.Cells[i] = cell
+	}
+	s.completed.Add(1)
+	for _, c := range resp.Cells {
+		s.instructions.Add(c.Instructions)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"workers":        s.cfg.Workers,
+		"queue_depth":    s.q.depth(),
+		"queue_capacity": s.cfg.QueueDepth,
+		"inflight":       s.inflight.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.Snapshot().WritePrometheus(w); err != nil {
+		// Headers are gone; nothing more to do than drop the
+		// connection.
+		return
+	}
+}
+
+// --- plumbing ---------------------------------------------------------
+
+// requestContext derives the simulation context: the request's own
+// context (canceled on client disconnect and server shutdown) bounded
+// by the effective timeout.
+func (s *Server) requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		timeout = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// enqueue pushes run through the bounded queue and tracks the inflight
+// gauge around it.
+func (s *Server) enqueue(ctx context.Context, run func(ctx context.Context)) error {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	return s.q.submitWait(ctx, run)
+}
+
+// decode parses a size-limited JSON body, answering 400/413 itself.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		}
+		return false
+	}
+	return true
+}
+
+// replyQueueError answers queue overflow/shutdown submissions; it
+// reports whether it wrote a response.
+func (s *Server) replyQueueError(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, errQueueFull):
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "job queue full, retry later"})
+		return true
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
+		return true
+	}
+}
+
+// replyRunError maps simulation errors onto status codes.
+func (s *Server) replyRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.canceled.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "simulation deadline exceeded"})
+	case errors.Is(err, context.Canceled):
+		// Client disconnect or server shutdown; the response is mostly
+		// for the log.
+		s.canceled.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request canceled"})
+	default:
+		s.failed.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.failed.Add(1)
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// validateWorkloads rejects unknown workload names before a request
+// consumes a queue slot. Empty names in the tail (unset workload2) are
+// ignored, but the first name is required.
+func (s *Server) validateWorkloads(names ...string) error {
+	if len(names) == 0 || names[0] == "" {
+		return errors.New("missing workload")
+	}
+	reg := workload.Registry()
+	for _, name := range names {
+		if name == "" {
+			continue
+		}
+		if _, ok := reg[name]; !ok {
+			return fmt.Errorf("unknown workload %q (have %v)", name, workload.Names())
+		}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

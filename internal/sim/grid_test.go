@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"testing"
 
 	"zbp/internal/core"
@@ -34,7 +35,7 @@ func TestGridAllConfigsAllWorkloads(t *testing.T) {
 			})
 		}
 	}
-	for i, r := range runner.Run(jobs) {
+	for i, r := range runner.Run(context.Background(), jobs) {
 		res, c := r.Res, cells[i]
 		t.Run(c.gen+"/"+c.name, func(t *testing.T) {
 			if r.Err != nil {
@@ -88,7 +89,7 @@ func TestGridSMT2Pairs(t *testing.T) {
 			})
 		}
 	}
-	for i, r := range runner.Run(jobs) {
+	for i, r := range runner.Run(context.Background(), jobs) {
 		r := r
 		t.Run(names[i], func(t *testing.T) {
 			if r.Err != nil {

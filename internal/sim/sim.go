@@ -7,6 +7,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"zbp/internal/btb"
@@ -58,16 +60,22 @@ func ForGeneration(c core.Config) Config {
 
 // Result aggregates everything a run produced.
 type Result struct {
-	Name    string
-	Cycles  int64
-	Threads []frontend.Stats
-	Core    core.Stats
-	BTB1    btb.Stats
-	BTB2    btb.Stats
-	Dir     dirpred.Stats
-	Tgt     tgt.Stats
-	CPred   cpred.Stats
-	IC      icache.Stats
+	Name string
+	// Truncated reports that the run stopped before every thread's
+	// trace was exhausted: the maxCycles budget expired or the run's
+	// context was canceled. A truncated result is a valid snapshot of
+	// the work done so far, but its headline metrics describe a prefix
+	// of the workload, not the whole trace.
+	Truncated bool
+	Cycles    int64
+	Threads   []frontend.Stats
+	Core      core.Stats
+	BTB1      btb.Stats
+	BTB2      btb.Stats
+	Dir       dirpred.Stats
+	Tgt       tgt.Stats
+	CPred     cpred.Stats
+	IC        icache.Stats
 }
 
 // Instructions returns total retired instructions across threads.
@@ -114,11 +122,12 @@ func (r Result) IPC() float64 {
 }
 
 // Accuracy returns the fraction of branches predicted correctly
-// (dynamic and static).
+// (dynamic and static). A branch-free trace has zero mispredicts, so
+// its accuracy is 1, not 0.
 func (r Result) Accuracy() float64 {
 	b := r.Branches()
 	if b == 0 {
-		return 0
+		return 1
 	}
 	return 1 - float64(r.Mispredicts())/float64(b)
 }
@@ -196,12 +205,40 @@ func (s *Sim) Registry() *metrics.Registry {
 	return reg
 }
 
-// Run executes until every thread's trace is exhausted or maxCycles
-// elapses (0 = no bound). It panics on live-lock (no instruction
-// retires for a long window), which would indicate a model bug.
-func (s *Sim) Run(maxCycles int64) Result {
+// ErrLiveLock reports that a run made no forward progress (no
+// instruction retired) for liveLockWindow cycles, which indicates a
+// model bug rather than a recoverable condition.
+var ErrLiveLock = errors.New("sim: live-lock, no instruction retired")
+
+// liveLockWindow is the no-progress cycle budget before a run is
+// declared live-locked.
+const liveLockWindow = 200000
+
+// ctxCheckMask throttles context polling in the cycle loop: the run
+// context is checked whenever clock&ctxCheckMask == 0, i.e. every 4096
+// cycles (a few microseconds of wall clock), so cancellation is prompt
+// without a per-cycle channel operation.
+const ctxCheckMask = 4096 - 1
+
+// RunCtx executes until every thread's trace is exhausted, maxCycles
+// elapses (0 = no bound), or ctx is canceled. It is the error-returning
+// path long-running processes use:
+//
+//   - trace exhausted: (complete result, nil)
+//   - maxCycles expired: (partial result with Truncated set, nil)
+//   - ctx canceled: (partial result with Truncated set, ctx.Err())
+//   - live-lock: (partial result with Truncated set, ErrLiveLock)
+//
+// Cancellation is cooperative — the context is polled every 4096
+// cycles — so a canceled simulation stops within microseconds without
+// leaking its goroutine.
+func (s *Sim) RunCtx(ctx context.Context, maxCycles int64) (Result, error) {
+	cancel := ctx.Done()
 	var lastInstr int64
 	var lastProgress int64
+	truncated := false
+	var runErr error
+loop:
 	for {
 		done := true
 		for _, t := range s.threads {
@@ -213,7 +250,17 @@ func (s *Sim) Run(maxCycles int64) Result {
 			break
 		}
 		if maxCycles > 0 && s.core.Clock() >= maxCycles {
+			truncated = true
 			break
+		}
+		if cancel != nil && s.core.Clock()&ctxCheckMask == 0 {
+			select {
+			case <-cancel:
+				truncated = true
+				runErr = ctx.Err()
+				break loop
+			default:
+			}
 		}
 		s.core.Cycle()
 		now := s.core.Clock()
@@ -230,12 +277,29 @@ func (s *Sim) Run(maxCycles int64) Result {
 		if instr > lastInstr {
 			lastInstr = instr
 			lastProgress = now
-		} else if now-lastProgress > 200000 {
-			panic(fmt.Sprintf("sim: no progress for %d cycles at clock %d (%d instructions)",
-				now-lastProgress, now, instr))
+		} else if now-lastProgress > liveLockWindow {
+			truncated = true
+			runErr = fmt.Errorf("%w: %d cycles without progress at clock %d (%d instructions)",
+				ErrLiveLock, now-lastProgress, now, instr)
+			break
 		}
 	}
-	return s.result()
+	res := s.result()
+	res.Truncated = truncated
+	return res, runErr
+}
+
+// Run executes until every thread's trace is exhausted or maxCycles
+// elapses (0 = no bound; the result's Truncated flag distinguishes the
+// two). It panics on live-lock, which would indicate a model bug;
+// long-running processes should use RunCtx and handle ErrLiveLock
+// instead.
+func (s *Sim) Run(maxCycles int64) Result {
+	res, err := s.RunCtx(context.Background(), maxCycles)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 func (s *Sim) result() Result {
@@ -259,16 +323,28 @@ func (s *Sim) result() Result {
 	return res
 }
 
-// RunWorkload is the one-call convenience used by examples, CLIs and
-// benchmarks: simulate n instructions of src on cfg. A packed cursor
+// RunWorkloadCtx simulates n instructions of src on cfg under ctx,
+// with RunCtx's cancellation and error semantics. A packed cursor
 // (trace.Packed replay) takes a fast path: its records were validated
 // at materialization and it bounds itself, so the per-instruction loop
 // skips the Limit wrapper's extra interface hop.
-func RunWorkload(cfg Config, src trace.Source, n int) Result {
+func RunWorkloadCtx(ctx context.Context, cfg Config, src trace.Source, n int) (Result, error) {
 	if c, ok := src.(*trace.Cursor); ok {
 		c.Limit(n)
-		return New(cfg, []trace.Source{c}).Run(0)
+		return New(cfg, []trace.Source{c}).RunCtx(ctx, 0)
 	}
 	s := New(cfg, []trace.Source{trace.Limit(src, n)})
-	return s.Run(0)
+	return s.RunCtx(ctx, 0)
+}
+
+// RunWorkload is the one-call convenience used by examples, CLIs and
+// benchmarks: simulate n instructions of src on cfg. It panics on
+// live-lock; use RunWorkloadCtx for the error-returning, cancellable
+// path.
+func RunWorkload(cfg Config, src trace.Source, n int) Result {
+	res, err := RunWorkloadCtx(context.Background(), cfg, src, n)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -10,6 +10,7 @@
 package tune
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -174,7 +175,7 @@ func (s *Study) Run() []Outcome {
 		}
 	}
 	pool := runner.Pool{Parallelism: s.Parallelism}
-	results := runner.Results(pool.Run(jobs))
+	results := runner.Results(pool.Run(context.Background(), jobs))
 
 	outcomes := make([]Outcome, len(pts))
 	for i := range pts {

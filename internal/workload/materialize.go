@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"zbp/internal/trace"
 )
@@ -28,10 +29,13 @@ func MakePacked(name string, seed uint64, n int) (*trace.Packed, error) {
 // so a whole experiment campaign — many experiments sweeping many
 // configurations over the same workloads — generates each workload
 // exactly once for the entire run. The cache is safe for concurrent
-// use; the cached buffers are immutable and shared by reference.
+// use and uses per-key singleflight: concurrent callers of the same
+// key share one materialization, while distinct keys materialize in
+// parallel instead of serializing behind a cache-wide lock. The cached
+// buffers are immutable and shared by reference.
 type Materializer struct {
 	mu sync.Mutex
-	m  map[matKey]*trace.Packed
+	m  map[matKey]*matEntry
 }
 
 type matKey struct {
@@ -40,34 +44,63 @@ type matKey struct {
 	n    int
 }
 
+// matEntry is one key's singleflight slot. The entry is inserted into
+// the map (under mu) before anything is generated; the expensive
+// generation+pack runs inside once with mu released, so it only ever
+// blocks callers of the same key. done publishes p/err to readers that
+// did not run the Once body (Count, FootprintBytes).
+type matEntry struct {
+	once sync.Once
+	done atomic.Bool
+	p    *trace.Packed
+	err  error
+}
+
 // NewMaterializer returns an empty cache.
 func NewMaterializer() *Materializer {
-	return &Materializer{m: make(map[matKey]*trace.Packed)}
+	return &Materializer{m: make(map[matKey]*matEntry)}
 }
 
 // Get returns the packed trace for (name, seed, n), materializing it
 // on first use. Concurrent callers of the same key block until the
-// single materialization finishes rather than duplicating the work.
+// single materialization finishes rather than duplicating the work;
+// callers of different keys do not block each other.
 func (mz *Materializer) Get(name string, seed uint64, n int) (*trace.Packed, error) {
 	key := matKey{name, seed, n}
 	mz.mu.Lock()
-	defer mz.mu.Unlock()
-	if p, ok := mz.m[key]; ok {
-		return p, nil
+	e, ok := mz.m[key]
+	if !ok {
+		e = &matEntry{}
+		mz.m[key] = e
 	}
-	p, err := MakePacked(name, seed, n)
-	if err != nil {
-		return nil, err
-	}
-	mz.m[key] = p
-	return p, nil
+	mz.mu.Unlock()
+	e.once.Do(func() {
+		if hook := materializeHook; hook != nil {
+			hook(key.name, key.seed, key.n)
+		}
+		e.p, e.err = MakePacked(name, seed, n)
+		e.done.Store(true)
+	})
+	return e.p, e.err
 }
 
-// Count returns the number of distinct traces materialized so far.
+// materializeHook, when non-nil, is invoked once per actual
+// materialization (not per Get). Tests use it to assert singleflight
+// behaviour; it must be set before any Get runs.
+var materializeHook func(name string, seed uint64, n int)
+
+// Count returns the number of distinct traces successfully
+// materialized so far. In-flight materializations are not counted.
 func (mz *Materializer) Count() int {
 	mz.mu.Lock()
 	defer mz.mu.Unlock()
-	return len(mz.m)
+	count := 0
+	for _, e := range mz.m {
+		if e.done.Load() && e.err == nil {
+			count++
+		}
+	}
+	return count
 }
 
 // FootprintBytes returns the total heap footprint of every cached
@@ -76,8 +109,10 @@ func (mz *Materializer) FootprintBytes() int {
 	mz.mu.Lock()
 	defer mz.mu.Unlock()
 	total := 0
-	for _, p := range mz.m {
-		total += p.SizeBytes()
+	for _, e := range mz.m {
+		if e.done.Load() && e.err == nil {
+			total += e.p.SizeBytes()
+		}
 	}
 	return total
 }

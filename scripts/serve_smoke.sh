@@ -1,0 +1,78 @@
+#!/bin/sh
+# serve_smoke.sh — boot zbpd, run one simulate request, check /healthz
+# and /metrics, then SIGTERM it and require a clean drain. Used by
+# `make serve-smoke` and CI.
+set -eu
+
+ADDR="127.0.0.1:18934"
+BIN="$(mktemp -d)/zbpd"
+LOG="$(mktemp)"
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$(dirname "$BIN")" "$LOG"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/zbpd
+"$BIN" -addr "$ADDR" -workers 2 >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the listener (up to ~5s).
+i=0
+until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "serve-smoke: zbpd never became healthy" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "serve-smoke: /healthz ok"
+
+OUT=$(curl -sf -X POST "http://$ADDR/v1/simulate" \
+    -d '{"workload":"loops","config":"z15","instructions":50000}')
+echo "$OUT" | grep -q '"instructions": 50000' || {
+    echo "serve-smoke: unexpected simulate response: $OUT" >&2
+    exit 1
+}
+echo "$OUT" | grep -q '"truncated": false' || {
+    echo "serve-smoke: simulate run was truncated: $OUT" >&2
+    exit 1
+}
+echo "serve-smoke: /v1/simulate ok"
+
+METRICS=$(curl -sf "http://$ADDR/metrics")
+echo "$METRICS" | grep -q '^zbpd_completed_total' || {
+    echo "serve-smoke: /metrics missing zbpd_completed_total" >&2
+    echo "$METRICS" >&2
+    exit 1
+}
+echo "$METRICS" | grep -q '# TYPE zbpd_requests_total gauge' || {
+    echo "serve-smoke: /metrics missing TYPE lines" >&2
+    exit 1
+}
+echo "serve-smoke: /metrics ok"
+
+# Graceful shutdown: SIGTERM must drain and exit 0 well inside the
+# grace budget.
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: zbpd did not exit after SIGTERM" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+wait "$PID" 2>/dev/null || {
+    echo "serve-smoke: zbpd exited non-zero after SIGTERM" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+PID=""
+echo "serve-smoke: graceful shutdown ok"

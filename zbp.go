@@ -12,11 +12,13 @@
 // Quick start:
 //
 //	src, _ := zbp.NewWorkload("lspr", 42)
-//	res := zbp.Run(zbp.Z15(), src, 1_000_000)
+//	res, _ := zbp.Run(zbp.Z15(), src, 1_000_000)
 //	fmt.Printf("MPKI %.2f, IPC %.2f\n", res.MPKI(), res.IPC())
 package zbp
 
 import (
+	"context"
+
 	"zbp/internal/core"
 	"zbp/internal/sim"
 	"zbp/internal/trace"
@@ -87,9 +89,24 @@ func MaterializeWorkload(name string, seed uint64, n int) (*Packed, error) {
 	return workload.MakePacked(name, seed, n)
 }
 
-// Run simulates n instructions of src on cfg (single thread).
-func Run(cfg Config, src Source, n int) Result {
-	return sim.RunWorkload(cfg, src, n)
+// ErrLiveLock reports that a simulation stopped making forward
+// progress, which indicates a model bug. Returned (wrapped) by Run and
+// RunContext.
+var ErrLiveLock = sim.ErrLiveLock
+
+// Run simulates n instructions of src on cfg (single thread). The
+// error is non-nil only on live-lock (ErrLiveLock), a model bug.
+func Run(cfg Config, src Source, n int) (Result, error) {
+	return sim.RunWorkloadCtx(context.Background(), cfg, src, n)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is
+// canceled mid-run the simulation stops within microseconds and
+// returns the partial result (Truncated set) alongside ctx's error.
+// This is the entry point for servers and other long-running
+// processes; see also cmd/zbpd, which serves it over HTTP.
+func RunContext(ctx context.Context, cfg Config, src Source, n int) (Result, error) {
+	return sim.RunWorkloadCtx(ctx, cfg, src, n)
 }
 
 // NewSim builds a simulation over one source per hardware thread

@@ -1,6 +1,10 @@
 package zbp
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+)
 
 // The facade tests exercise the public API exactly as README documents
 // it.
@@ -10,12 +14,31 @@ func TestFacadeQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Run(Z15(), src, 50_000)
+	res, err := Run(Z15(), src, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Instructions() != 50_000 {
 		t.Fatalf("retired %d", res.Instructions())
 	}
 	if res.MPKI() < 0 || res.IPC() <= 0 || res.Accuracy() <= 0 {
 		t.Fatalf("bad metrics: %+v", res)
+	}
+}
+
+func TestFacadeRunContextCancel(t *testing.T) {
+	src, err := NewWorkload("lspr", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, Z15(), src, 1_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !res.Truncated {
+		t.Error("canceled run not marked Truncated")
 	}
 }
 
