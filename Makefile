@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench bench-smoke bench-allocs exp race cover fuzz golden serve serve-smoke staticcheck
+.PHONY: all build test vet bench bench-smoke bench-allocs exp race cover fuzz golden serve serve-smoke diff-smoke staticcheck
 
 all: build vet test
 
@@ -40,6 +40,13 @@ cover:
 fuzz:
 	go test ./internal/trace -run '^$$' -fuzz '^FuzzReadTrace$$' -fuzztime 30s
 	go test ./internal/trace -run '^$$' -fuzz '^FuzzRecordRoundTrip$$' -fuzztime 30s
+	go test ./internal/equiv -run '^$$' -fuzz '^FuzzEquivCell$$' -fuzztime 30s
+
+# Differential equivalence harness smoke: a small clean grid must show
+# zero divergences, and a perturbed cell must be detected.
+diff-smoke:
+	go run ./cmd/zdiff -scale 4000 -configs z15,zEC12 -workloads lspr-small,callret,indirect,patterned
+	go run ./cmd/zdiff -scale 4000 -configs z15 -workloads patterned -perturb
 
 # Refresh the golden stats snapshots after an intentional model change.
 golden:

@@ -1,0 +1,183 @@
+package equiv
+
+import (
+	"context"
+
+	"zbp/internal/sim"
+	"zbp/internal/trace"
+	"zbp/internal/verif"
+	"zbp/internal/workload"
+)
+
+// The metamorphic invariants. Unlike the exact pairs, a transformed run
+// here is allowed to differ — the checks bound the direction and
+// magnitude of the difference, catching gross model breakage (a
+// capacity knob wired backwards, a prefix that retires more work than
+// its budget) without pinning noisy metrics bit-for-bit.
+
+// surpriseEps is the slack allowed on the BTB1 capacity monotonicity
+// check: halving the BTB1 may, through aliasing luck, *reduce* the
+// surprise rate by up to this much without it being a bug. Anything
+// beyond means the capacity lever is wired backwards.
+const surpriseEps = 0.02
+
+// surpriseRate is the fraction of retired branches the BPL had no
+// dynamic prediction for.
+func surpriseRate(r sim.Result) float64 {
+	var br, sur int64
+	for _, t := range r.Threads {
+		br += t.Branches
+		sur += t.Surprises
+	}
+	if br == 0 {
+		return 0
+	}
+	return float64(sur) / float64(br)
+}
+
+// checkBTB1Monotonic halves the BTB1 row count and requires the
+// surprise rate not to *improve* materially: a strictly smaller BTB1
+// can never track more branches. (The mirrored direction — bigger
+// never hurts — is implied by comparing the halved run against the
+// full-capacity baseline.)
+func checkBTB1Monotonic(ctx context.Context, env *cellEnv, rep *verif.DiffReport) error {
+	small := env.cfg
+	small.Core.BTB1.RowBits--
+	cur := env.packed.Cursor()
+	res, err := sim.New(small, []trace.Source{&cur}).RunCtx(ctx, 0)
+	if err != nil {
+		return err
+	}
+	fullRate, halfRate := surpriseRate(env.base), surpriseRate(res)
+	if fullRate > halfRate+surpriseEps {
+		rep.Addf("btb1-monotonic", env.cell.Name(), "thread0.surprises",
+			"surprise rate %.4f at full BTB1 capacity exceeds %.4f at half capacity (+%.4f slack): capacity lever inverted",
+			fullRate, halfRate, surpriseEps)
+	}
+	return nil
+}
+
+// checkWarmupPrefix truncates the cell to half its budget: the prefix
+// run must retire exactly its budget, and every cumulative counter
+// must be bounded by the full run's — the simulator may never "un-run"
+// work as the trace extends.
+func checkWarmupPrefix(ctx context.Context, env *cellEnv, rep *verif.DiffReport) error {
+	const check = "warmup-prefix"
+	half := env.cell.Instructions / 2
+	if half == 0 {
+		return nil
+	}
+	cur := env.packed.CursorN(half)
+	res, err := sim.New(env.cfg, []trace.Source{&cur}).RunCtx(ctx, 0)
+	if err != nil {
+		return err
+	}
+	cell := env.cell.Name()
+	if got := res.Instructions(); got != int64(half) {
+		rep.Addf(check, cell, "sim.instructions",
+			"half-budget prefix retired %d instructions, want exactly %d", got, half)
+	}
+	type bound struct {
+		metric     string
+		half, full int64
+	}
+	for _, b := range []bound{
+		{"sim.instructions", res.Instructions(), env.base.Instructions()},
+		{"sim.branches", res.Branches(), env.base.Branches()},
+		{"sim.mispredicts", res.Mispredicts(), env.base.Mispredicts()},
+		{"sim.cycles", res.Cycles, env.base.Cycles},
+	} {
+		if b.half > b.full {
+			rep.Addf(check, cell, b.metric,
+				"prefix run's %s = %d exceeds full run's %d: counters are not cumulative",
+				b.metric, b.half, b.full)
+		}
+	}
+	return nil
+}
+
+// smt2MispredictFactor bounds how far SMT2 co-running may move total
+// mispredicts relative to the two single-thread runs. Shared predictor
+// state causes real, sometimes severe interference — callret on z15
+// goes from ~100 mispredicts (2xST) to ~1400 under SMT2 because the
+// interleaved threads trash the shared call/return tracking — so the
+// multiplicative factor is joined by a term proportional to the branch
+// count (interference can corrupt some fraction of all predictions,
+// but not more). The band only catches structural breakage, not tuning
+// regressions.
+const (
+	smt2MispredictFactor = 4.0
+	smt2MispredictSlack  = 256
+)
+
+// checkSMT2VsST runs the cell's workload on both hardware threads
+// (second thread reseeded, mirroring the zbpd convention) and
+// crosschecks aggregates against the two single-thread runs: retired
+// instruction and branch counts are trace properties and must match
+// exactly; mispredicts may move with interference but only within a
+// loose band; and the SMT2 run cannot finish faster than the slower
+// thread alone would.
+func checkSMT2VsST(ctx context.Context, env *cellEnv, rep *verif.DiffReport) error {
+	const check = "smt2-vs-2xst"
+	cell := env.cell.Name()
+	p2, err := workload.MakePacked(env.cell.Workload, env.cell.Seed+1, env.cell.Instructions)
+	if err != nil {
+		return err
+	}
+	// Second thread single-thread reference.
+	c2 := p2.Cursor()
+	st2, err := sim.New(env.cfg, []trace.Source{&c2}).RunCtx(ctx, 0)
+	if err != nil {
+		return err
+	}
+	// SMT2 run: one cursor per hardware thread.
+	ca, cb := env.packed.Cursor(), p2.Cursor()
+	smt, err := sim.New(env.cfg, []trace.Source{&ca, &cb}).RunCtx(ctx, 0)
+	if err != nil {
+		return err
+	}
+
+	wantInstr := env.base.Instructions() + st2.Instructions()
+	if got := smt.Instructions(); got != wantInstr {
+		rep.Addf(check, cell, "sim.instructions",
+			"SMT2 retired %d instructions, the two ST runs retired %d", got, wantInstr)
+	}
+	wantBr := env.base.Branches() + st2.Branches()
+	if got := smt.Branches(); got != wantBr {
+		rep.Addf(check, cell, "sim.branches",
+			"SMT2 retired %d branches, the two ST runs retired %d", got, wantBr)
+	}
+	stMiss := env.base.Mispredicts() + st2.Mispredicts()
+	smtMiss := smt.Mispredicts()
+	hi := int64(float64(stMiss)*smt2MispredictFactor) + wantBr/4 + smt2MispredictSlack
+	lo := int64(float64(stMiss)/smt2MispredictFactor) - smt2MispredictSlack
+	if smtMiss > hi || smtMiss < lo {
+		rep.Addf(check, cell, "sim.mispredicts",
+			"SMT2 mispredicts %d outside sanity band [%d, %d] around 2xST total %d",
+			smtMiss, lo, hi, stMiss)
+	}
+	// Cycle band. Co-running CAN beat the slower solo run here — each
+	// thread's restart penalties overlap with the other thread's useful
+	// work — but the two threads still share one fetch pipe, so the
+	// whole SMT2 run cannot beat half the slower solo time (a >2x
+	// speedup would mean sharing manufactured bandwidth). The upper
+	// side allows the serialized total times a generous interference
+	// factor: destructive sharing is real (see the mispredict band
+	// comment) and every extra mispredict buys a full restart penalty.
+	slower := env.base.Cycles
+	if st2.Cycles > slower {
+		slower = st2.Cycles
+	}
+	serial := env.base.Cycles + st2.Cycles
+	if smt.Cycles < slower/2 {
+		rep.Addf(check, cell, "sim.cycles",
+			"SMT2 finished in %d cycles, over 2x faster than the slower ST run alone (%d): port sharing is free?",
+			smt.Cycles, slower)
+	}
+	if smt.Cycles > 4*serial {
+		rep.Addf(check, cell, "sim.cycles",
+			"SMT2 took %d cycles, over 4x the serialized ST total (%d): co-running livelock?",
+			smt.Cycles, serial)
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 
 	"zbp/internal/btb"
 	"zbp/internal/core"
+	"zbp/internal/hashx"
 	"zbp/internal/runner"
 	"zbp/internal/sat"
 	"zbp/internal/sim"
@@ -119,7 +120,12 @@ func ByID(id string) (Experiment, bool) {
 // job builds one pool job for the named workload at experiment scale.
 // With a Materializer set, the job replays a cursor over the shared
 // packed trace instead of regenerating the workload in the worker.
+// The caller's seed is decorrelated per workload name (see
+// hashx.SeedFor) so experiments sweeping several workloads from one
+// base seed don't feed every generator the same random stream;
+// explicit offsets (E7's per-generation reseeding) compose on top.
 func job(o Options, cfg sim.Config, name string, seed uint64) runner.Job {
+	seed = hashx.SeedFor(seed, name)
 	j := runner.Job{
 		Name:         name,
 		Config:       cfg,

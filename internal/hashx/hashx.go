@@ -34,6 +34,30 @@ func Mix(v uint64) uint64 {
 	return v ^ (v >> 31)
 }
 
+// String hashes s with 64-bit FNV-1a. Deterministic across runs and
+// platforms (unlike maphash), so derived seeds are reproducible.
+func String(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// SeedFor derives an independent per-stream seed from a base seed and
+// a stream name. Reusing one base seed verbatim across several named
+// generators correlates their random streams (identical draws in
+// identical order); hashing the name in and scrambling with Mix
+// decorrelates them while staying reproducible from (base, name).
+func SeedFor(base uint64, name string) uint64 {
+	return Mix(base ^ String(name))
+}
+
 // Rand is a splitmix64 pseudo-random generator. The zero value is a
 // valid generator seeded with 0; use New for an explicit seed. It is
 // intentionally tiny and dependency-free so every workload and

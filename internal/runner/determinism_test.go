@@ -12,67 +12,10 @@ import (
 	"zbp/internal/workload"
 )
 
-// TestStatsJSONDeterminism is the contract the golden harness and any
-// CI diffing stand on: running the same configs serially (no pool at
-// all) and through the pool at every practical -parallel setting must
-// produce byte-identical stats JSON. It exercises both scheduling
-// (worker interleaving must not leak into results) and serialization
-// (map iteration must never reach the output).
-func TestStatsJSONDeterminism(t *testing.T) {
-	const (
-		seed  = 7
-		scale = 40_000
-	)
-	var jobs []runner.Job
-	for _, gen := range core.Generations() {
-		for _, wl := range []string{"lspr", "callret"} {
-			jobs = append(jobs, runner.Job{
-				Name:         gen.Name + "/" + wl,
-				Config:       sim.ForGeneration(gen),
-				Source:       runner.Workload(wl, seed),
-				Instructions: scale,
-			})
-		}
-	}
-
-	// Reference: run each job directly, bypassing the pool entirely.
-	want := make([][]byte, len(jobs))
-	for i, job := range jobs {
-		srcs, err := job.Source()
-		if err != nil {
-			t.Fatalf("%s: building sources: %v", job.Name, err)
-		}
-		for k, src := range srcs {
-			srcs[k] = trace.Limit(src, job.Instructions)
-		}
-		res := sim.New(job.Config, srcs).Run(0)
-		js, err := res.StatsJSON()
-		if err != nil {
-			t.Fatalf("%s: serializing: %v", job.Name, err)
-		}
-		want[i] = js
-	}
-
-	for par := 1; par <= 8; par++ {
-		t.Run(fmt.Sprintf("parallel-%d", par), func(t *testing.T) {
-			pool := &runner.Pool{Parallelism: par}
-			results := pool.Run(context.Background(), jobs)
-			for i, r := range results {
-				if r.Err != nil {
-					t.Fatalf("%s: %v", r.Name, r.Err)
-				}
-				js, err := r.Res.StatsJSON()
-				if err != nil {
-					t.Fatalf("%s: serializing: %v", r.Name, err)
-				}
-				if string(js) != string(want[i]) {
-					t.Errorf("%s: stats JSON differs between serial run and pool at parallelism %d",
-						r.Name, par)
-				}
-			}
-		})
-	}
-}
+// The serial-vs-pool stats determinism contract this file used to pin
+// directly (TestStatsJSONDeterminism) now lives in the differential
+// harness: internal/equiv's pool-1-vs-n check runs it on every cell of
+// every zdiff/diff-smoke grid.
 
 func TestPoolZeroJobs(t *testing.T) {
 	for _, par := range []int{0, 1, 4} {

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"zbp/internal/core"
+	"zbp/internal/equiv"
+)
+
+// DiffRequest is the POST /v1/diff body: run the differential
+// equivalence harness (internal/equiv) over a Configs x Workloads grid
+// and report every divergence. A deployment smoke test for the
+// simulator itself — the service-side twin of cmd/zdiff.
+type DiffRequest struct {
+	Configs      []string `json:"configs,omitempty"` // default ["z15"]
+	Workloads    []string `json:"workloads"`         // required
+	Seed         *uint64  `json:"seed,omitempty"`    // default 42
+	Instructions int      `json:"instructions,omitempty"`
+	TimeoutMs    int      `json:"timeout_ms,omitempty"`
+	// Checks selects a subset of equiv.CheckNames(); empty runs all.
+	Checks []string `json:"checks,omitempty"`
+	// Perturb deliberately corrupts predictor state so operators can
+	// verify end to end that the harness detects real divergence; a
+	// perturbed run reporting zero divergences means the check layer is
+	// broken.
+	Perturb bool `json:"perturb,omitempty"`
+}
+
+// DiffFinding is one reported divergence.
+type DiffFinding struct {
+	Check  string `json:"check"`
+	Metric string `json:"metric,omitempty"`
+	Detail string `json:"detail"`
+}
+
+// DiffCell is one grid point's verdict.
+type DiffCell struct {
+	Config   string        `json:"config"`
+	Workload string        `json:"workload"`
+	Seed     uint64        `json:"seed"`
+	Checks   int           `json:"checks"`
+	OK       bool          `json:"ok"`
+	Findings []DiffFinding `json:"findings,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// DiffResponse is the POST /v1/diff reply, cells in grid order.
+type DiffResponse struct {
+	Cells       []DiffCell `json:"cells"`
+	Divergences int        `json:"divergences"`
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req DiffRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Configs) == 0 {
+		req.Configs = []string{"z15"}
+	}
+	seed := uint64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	if req.Instructions == 0 {
+		req.Instructions = s.cfg.DefaultInstructions
+	}
+	if req.Instructions < 0 || req.Instructions > s.cfg.MaxInstructions {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("instructions %d out of range [1, %d]", req.Instructions, s.cfg.MaxInstructions))
+		return
+	}
+	cells := len(req.Configs) * len(req.Workloads)
+	if cells == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("empty diff grid: need workloads"))
+		return
+	}
+	if cells > s.cfg.MaxSweepCells {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("diff grid has %d cells, limit %d", cells, s.cfg.MaxSweepCells))
+		return
+	}
+	for _, name := range req.Configs {
+		if _, err := core.ByName(name); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if err := s.validateWorkloads(req.Workloads...); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	known := map[string]bool{}
+	for _, n := range equiv.CheckNames() {
+		known[n] = true
+	}
+	for _, n := range req.Checks {
+		if !known[n] {
+			s.fail(w, http.StatusBadRequest,
+				fmt.Errorf("unknown check %q (have %v)", n, equiv.CheckNames()))
+			return
+		}
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	grid := equiv.Grid(req.Configs, req.Workloads, seed, req.Instructions)
+	opts := equiv.Options{Checks: req.Checks, Perturb: req.Perturb}
+	var results []equiv.CellResult
+	submitErr := s.enqueue(ctx, func(ctx context.Context) {
+		// Like sweeps, the whole grid occupies one queue slot;
+		// parallelism 1 keeps simulation concurrency at the worker
+		// count.
+		results = equiv.CheckGrid(ctx, grid, opts, 1)
+	})
+	if s.replyQueueError(w, submitErr) {
+		return
+	}
+	if results == nil {
+		// Skipped while queued.
+		s.replyRunError(w, ctx.Err())
+		return
+	}
+
+	resp := DiffResponse{Cells: make([]DiffCell, len(results))}
+	for i, cr := range results {
+		cell := DiffCell{
+			Config:   cr.Cell.Config,
+			Workload: cr.Cell.Workload,
+			Seed:     cr.Cell.Seed,
+			Checks:   len(cr.Checks),
+			OK:       cr.OK(),
+		}
+		if cr.Err != nil {
+			cell.Error = cr.Err.Error()
+		}
+		for _, f := range cr.Findings() {
+			cell.Findings = append(cell.Findings, DiffFinding{
+				Check: f.Check, Metric: f.Metric, Detail: f.Detail,
+			})
+		}
+		if !cell.OK {
+			resp.Divergences++
+			s.diffDivergences.Add(1)
+		}
+		resp.Cells[i] = cell
+	}
+	s.completed.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -103,13 +104,19 @@ type Server struct {
 
 	// Live service counters, exported via /metrics. Atomics because
 	// handlers bump them concurrently with registry snapshots.
-	requests     atomic.Int64
-	completed    atomic.Int64
-	rejected     atomic.Int64
-	canceled     atomic.Int64
-	failed       atomic.Int64
-	instructions atomic.Int64
-	inflight     atomic.Int64
+	requests        atomic.Int64
+	completed       atomic.Int64
+	rejected        atomic.Int64
+	canceled        atomic.Int64
+	failed          atomic.Int64
+	instructions    atomic.Int64
+	inflight        atomic.Int64
+	sweepCellErrors atomic.Int64
+	diffDivergences atomic.Int64
+
+	// runNanosEWMA tracks a smoothed per-task queue-slot duration (ns),
+	// feeding the Retry-After estimate on 429 responses.
+	runNanosEWMA atomic.Int64
 }
 
 // New builds a server and starts its worker pool. Callers must Close
@@ -124,6 +131,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/diff", s.handleDiff)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -152,6 +160,11 @@ func (s *Server) buildRegistry() *metrics.Registry {
 	gauge("zbpd.failed_total", &s.failed)
 	gauge("zbpd.instructions_total", &s.instructions)
 	gauge("zbpd.inflight", &s.inflight)
+	gauge("zbpd.sweep_cell_errors_total", &s.sweepCellErrors)
+	gauge("zbpd.diff_divergences_total", &s.diffDivergences)
+	reg.Gauge("zbpd.run_seconds_ewma", func() float64 {
+		return time.Duration(s.runNanosEWMA.Load()).Seconds()
+	})
 	reg.Gauge("zbpd.queue_depth", func() float64 { return float64(s.q.depth()) })
 	reg.Gauge("zbpd.queue_capacity", func() float64 { return float64(s.cfg.QueueDepth) })
 	reg.Gauge("zbpd.workers", func() float64 { return float64(s.cfg.Workers) })
@@ -229,6 +242,9 @@ type SweepCell struct {
 // (configs outermost, seeds innermost).
 type SweepResponse struct {
 	Cells []SweepCell `json:"cells"`
+	// Errors counts cells whose Error field is set, so clients can spot
+	// partial failure without scanning the grid.
+	Errors int `json:"errors"`
 }
 
 type errorResponse struct {
@@ -442,6 +458,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		if r.Err != nil {
 			cell.Error = r.Err.Error()
+			resp.Errors++
+			s.sweepCellErrors.Add(1)
 		}
 		resp.Cells[i] = cell
 	}
@@ -488,11 +506,56 @@ func (s *Server) requestContext(r *http.Request, timeoutMs int) (context.Context
 }
 
 // enqueue pushes run through the bounded queue and tracks the inflight
-// gauge around it.
+// gauge around it. Executed task durations feed the EWMA behind the
+// Retry-After estimate.
 func (s *Server) enqueue(ctx context.Context, run func(ctx context.Context)) error {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
-	return s.q.submitWait(ctx, run)
+	return s.q.submitWait(ctx, func(ctx context.Context) {
+		start := time.Now()
+		run(ctx)
+		s.observeRun(time.Since(start))
+	})
+}
+
+// observeRun folds one task duration into the smoothed estimate
+// (alpha = 1/8). A CAS loop keeps concurrent workers from losing
+// updates; the estimate only steers Retry-After, so contention is
+// cheap and precision irrelevant.
+func (s *Server) observeRun(d time.Duration) {
+	for {
+		old := s.runNanosEWMA.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + (int64(d)-old)/8
+		}
+		if s.runNanosEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates when a queue slot will open: the queued
+// work plus the incoming task, spread over the workers, at the smoothed
+// per-task duration (1s until the first task completes). Clamped to
+// [1, 60] so clients neither hammer a busy server nor give up on a
+// briefly-full queue.
+func (s *Server) retryAfterSeconds() int {
+	avg := time.Duration(s.runNanosEWMA.Load())
+	if avg <= 0 {
+		avg = time.Second
+	}
+	est := time.Duration(s.q.depth()+1) * avg / time.Duration(s.cfg.Workers)
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // decode parses a size-limited JSON body, answering 400/413 itself.
@@ -520,7 +583,10 @@ func (s *Server) replyQueueError(w http.ResponseWriter, err error) bool {
 		return false
 	case errors.Is(err, errQueueFull):
 		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		// Derived from the queued-work estimate, not a constant: a full
+		// queue of minute-long sweeps and a full queue of millisecond
+		// simulations deserve very different retry advice.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "job queue full, retry later"})
 		return true
 	default:

@@ -47,6 +47,11 @@ func FuzzReadTrace(f *testing.F) {
 	f.Add(valid[:len(valid)-1])             // truncated tail
 	f.Add(append(valid, 0x07))              // trailing garbage kind
 	f.Add(append([]byte("ZBPT\x01"), bytes.Repeat([]byte{0xac}, 64)...))
+	// Overlong varint: nothing but continuation bytes, the shape that
+	// drives decoded sizes toward 2^64 and used to trigger unbounded
+	// count-trusting pre-allocation downstream.
+	f.Add(append([]byte("ZBPT\x01\x27"), bytes.Repeat([]byte{0x80}, 32)...))
+	f.Add(append([]byte("ZBPT\x01\x27"), bytes.Repeat([]byte{0xff}, 32)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
 		n := 0

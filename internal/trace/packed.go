@@ -45,9 +45,20 @@ func packMeta(r Rec) uint8 {
 }
 
 // grow pre-sizes every column for n more records.
+// maxPreallocRecs caps speculative pre-allocation driven by
+// caller-declared record counts. The count is a promise, not data the
+// buffer has seen: Pack(r, 1<<40) from an attacker-controlled size
+// field must not commit terabytes up front. Beyond the cap, append's
+// geometric growth takes over and allocation tracks records actually
+// decoded.
+const maxPreallocRecs = 1 << 16
+
 func (p *Packed) grow(n int) {
 	if n <= 0 {
 		return
+	}
+	if n > maxPreallocRecs {
+		n = maxPreallocRecs
 	}
 	p.addr = append(make([]zarch.Addr, 0, len(p.addr)+n), p.addr...)
 	p.tgt = append(make([]zarch.Addr, 0, len(p.tgt)+n), p.tgt...)

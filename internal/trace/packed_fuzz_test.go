@@ -23,6 +23,10 @@ func FuzzPackedRoundTrip(f *testing.F) {
 	f.Add(valid[:len(valid)-1])             // truncated tail
 	f.Add(append(valid, 0x07))              // trailing garbage
 	f.Add(append([]byte("ZBPT\x01"), bytes.Repeat([]byte{0xac}, 64)...))
+	// Overlong varints (all continuation bytes): the hostile-size class
+	// the pre-allocation clamp in grow/Take defends against.
+	f.Add(append([]byte("ZBPT\x01\x27"), bytes.Repeat([]byte{0x80}, 32)...))
+	f.Add(append([]byte("ZBPT\x01\x27"), bytes.Repeat([]byte{0xff}, 32)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Reference pass: what the hardened streaming decoder accepts.
 		ref := NewReader(bytes.NewReader(data))

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"testing"
+
+	"zbp/internal/zarch"
+)
+
+// shortSource yields n synthetic records then dries up.
+type shortSource struct{ n int }
+
+func (s *shortSource) Next() (Rec, bool) {
+	if s.n <= 0 {
+		return Rec{}, false
+	}
+	s.n--
+	return Rec{Addr: zarch.Addr(0x1000 + s.n*8), Kind: zarch.KindCondRel, Len: 4}, true
+}
+
+// TestPackClampsPrealloc pins the pre-allocation clamp: a declared
+// record count is a promise, and a hostile or buggy caller promising
+// 2^40 records against a short source must not commit storage for
+// them. Before the clamp this test allocated ~19 TB of columns and
+// died; now pre-allocation is bounded and growth tracks real input.
+func TestPackClampsPrealloc(t *testing.T) {
+	p, err := Pack(&shortSource{n: 3}, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("packed %d records, want 3", p.Len())
+	}
+	if got := cap(p.meta); got > maxPreallocRecs {
+		t.Errorf("meta column capacity %d exceeds prealloc cap %d", got, maxPreallocRecs)
+	}
+	if got := cap(p.addr); got > maxPreallocRecs {
+		t.Errorf("addr column capacity %d exceeds prealloc cap %d", got, maxPreallocRecs)
+	}
+}
+
+// TestPackBeyondClampStillGrows proves the clamp only bounds the
+// up-front reservation, not capacity: packing more records than
+// maxPreallocRecs must still succeed and keep every record.
+func TestPackBeyondClampStillGrows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large pack skipped in short mode")
+	}
+	n := maxPreallocRecs + 100
+	p, err := Pack(&shortSource{n: n}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != n {
+		t.Fatalf("packed %d records, want %d", p.Len(), n)
+	}
+}
+
+// TestTakeClampsPrealloc pins the same contract on Take.
+func TestTakeClampsPrealloc(t *testing.T) {
+	out := Take(&shortSource{n: 2}, 1<<40)
+	if len(out) != 2 {
+		t.Fatalf("took %d records, want 2", len(out))
+	}
+	if cap(out) > maxPreallocRecs {
+		t.Errorf("slice capacity %d exceeds prealloc cap %d", cap(out), maxPreallocRecs)
+	}
+}

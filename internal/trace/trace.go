@@ -98,9 +98,16 @@ func (s *SliceSource) Next() (Rec, bool) {
 // Reset rewinds the source to the beginning.
 func (s *SliceSource) Reset() { s.pos = 0 }
 
-// Take drains up to n records from src into a slice.
+// Take drains up to n records from src into a slice. The requested
+// count only seeds the allocation up to a bound (see maxPreallocRecs):
+// a huge n against a short source must not allocate for records that
+// never arrive.
 func Take(src Source, n int) []Rec {
-	out := make([]Rec, 0, n)
+	pre := n
+	if pre > maxPreallocRecs {
+		pre = maxPreallocRecs
+	}
+	out := make([]Rec, 0, pre)
 	for len(out) < n {
 		r, ok := src.Next()
 		if !ok {

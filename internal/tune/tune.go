@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"zbp/internal/hashx"
 	"zbp/internal/runner"
 	"zbp/internal/sim"
 	"zbp/internal/workload"
@@ -132,13 +133,19 @@ func (s *Study) Run() []Outcome {
 	// eager workload-name validation.
 	specs := make(map[string]runner.SourceSpec, len(s.Workloads))
 	for _, w := range s.Workloads {
+		// Each workload gets its own derived seed: reusing the study seed
+		// verbatim made every workload's generator draw the identical
+		// random stream, correlating cells across workloads. Every design
+		// point still replays the same per-workload trace, so cross-point
+		// comparisons stay exact.
+		ws := hashx.SeedFor(s.Seed, w)
 		if s.Streaming {
 			if _, err := workload.Make(w, 1); err != nil {
 				panic(err)
 			}
-			specs[w] = runner.Workload(w, s.Seed)
+			specs[w] = runner.Workload(w, ws)
 		} else {
-			p, err := workload.MakePacked(w, s.Seed, s.Instructions)
+			p, err := workload.MakePacked(w, ws, s.Instructions)
 			if err != nil {
 				panic(err)
 			}

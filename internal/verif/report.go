@@ -1,0 +1,77 @@
+package verif
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Finding is one detected discrepancy, generalized beyond the array
+// monitors: the differential harness (internal/equiv) and the lockstep
+// monitors in this package share it so every correctness layer reports
+// divergences in the same shape — which check fired, on which cell (or
+// array), at which cycle, and the first metric that disagreed.
+type Finding struct {
+	// Check names the checker that fired ("read-monitor",
+	// "packed-vs-streaming", ...).
+	Check string
+	// Cell identifies the stimulus: a (config, workload, seed, budget)
+	// cell for differential checks, a driver label for array monitors.
+	Cell string
+	// Cycle is the simulation cycle the discrepancy was observed at, or
+	// -1 when the check compares whole-run aggregates.
+	Cycle int64
+	// Metric is the first diverging metric (stats-snapshot key) for
+	// aggregate checks; empty for cycle-level monitor errors.
+	Metric string
+	// Detail is the human-readable explanation.
+	Detail string
+}
+
+func (f Finding) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s", f.Check, f.Cell)
+	if f.Cycle >= 0 {
+		fmt.Fprintf(&b, " cycle %d", f.Cycle)
+	}
+	if f.Metric != "" {
+		fmt.Fprintf(&b, " metric %s", f.Metric)
+	}
+	if f.Detail != "" {
+		fmt.Fprintf(&b, ": %s", f.Detail)
+	}
+	return b.String()
+}
+
+// Finding lifts a monitor Error into the shared report shape.
+func (e Error) Finding(check, cell string) Finding {
+	return Finding{Check: check, Cell: cell, Cycle: e.Cycle, Detail: e.What}
+}
+
+// DiffReport collects findings from one differential or monitor
+// crosscheck run. (Report, in driver.go, is the constrained-random
+// run summary; a DiffReport is the divergence list shared by equiv
+// and the monitors.)
+type DiffReport struct {
+	Findings []Finding
+}
+
+// Add records a finding.
+func (r *DiffReport) Add(f Finding) { r.Findings = append(r.Findings, f) }
+
+// Addf records a formatted aggregate finding (no cycle attribution).
+func (r *DiffReport) Addf(check, cell, metric, format string, args ...any) {
+	r.Add(Finding{Check: check, Cell: cell, Cycle: -1, Metric: metric,
+		Detail: fmt.Sprintf(format, args...)})
+}
+
+// OK reports a clean run.
+func (r DiffReport) OK() bool { return len(r.Findings) == 0 }
+
+// String renders every finding, one per line.
+func (r DiffReport) String() string {
+	lines := make([]string, len(r.Findings))
+	for i, f := range r.Findings {
+		lines[i] = f.String()
+	}
+	return strings.Join(lines, "\n")
+}
