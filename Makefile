@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench bench-smoke bench-allocs exp race cover fuzz golden serve serve-smoke diff-smoke staticcheck
+.PHONY: all build test vet bench bench-smoke bench-allocs bench-nsinstr bench-json exp race cover fuzz golden serve serve-smoke diff-smoke staticcheck
 
 all: build vet test
 
@@ -29,6 +29,17 @@ bench-smoke:
 # (scripts/bench_allocs_ceiling.txt).
 bench-allocs:
 	sh scripts/bench_allocs.sh
+
+# Fail if packed-replay ns/instr exceeds the checked-in ceiling
+# (scripts/bench_nsinstr_ceiling.txt) or the drain allocates.
+bench-nsinstr:
+	sh scripts/bench_nsinstr.sh
+
+# Regenerate the machine-readable benchmark trajectory document for
+# this PR (override PR= to change the filename suffix).
+PR ?= 6
+bench-json:
+	go run ./cmd/zbench -out BENCH_$(PR).json
 
 exp:
 	go run ./cmd/zexp -scale 2000000

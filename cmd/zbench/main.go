@@ -1,0 +1,253 @@
+// Command zbench measures the repository's headline performance
+// numbers — packed-replay ns/instr, the Source-interface dispatch tax,
+// streaming generation cost, and full-simulation ns/instr per machine
+// generation — and writes them as one schema-versioned JSON document.
+//
+// The intended workflow is a trajectory: each performance PR runs
+// `make bench-json` and commits the resulting BENCH_<pr>.json next to
+// the previous ones, so the repo history carries a machine-readable
+// record of how the hot path moved. The schema is versioned so later
+// tooling can consume old files; fields are only ever added.
+//
+// Usage:
+//
+//	zbench                   # print the document to stdout
+//	zbench -out BENCH_6.json # write to a file
+//	zbench -scale 200000     # instructions per measured operation
+//	zbench -only replay      # measure a name-prefix subset
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"zbp/internal/core"
+	"zbp/internal/sim"
+	"zbp/internal/trace"
+	"zbp/internal/workload"
+)
+
+// schema identifies the document layout. Bump only for breaking
+// changes; additive fields keep the same version.
+const schema = "zbench/1"
+
+// benchDoc is the emitted document.
+type benchDoc struct {
+	Schema      string       `json:"schema"`
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	CPUs        int          `json:"cpus"`
+	Scale       int          `json:"scale"`
+	Entries     []benchEntry `json:"entries"`
+}
+
+// benchEntry is one measured benchmark.
+type benchEntry struct {
+	// Name identifies the measurement ("replay/packed", "sim/z15", ...).
+	Name string `json:"name"`
+	// Instructions is the per-operation instruction count (the -scale).
+	Instructions int `json:"instructions"`
+	// Iterations is how many operations testing.Benchmark settled on.
+	Iterations int `json:"iterations"`
+	// WallNsPerOp is wall time per operation (one full pass).
+	WallNsPerOp int64 `json:"wall_ns_per_op"`
+	// NsPerInstr is the headline: wall time per instruction.
+	NsPerInstr float64 `json:"ns_per_instr"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "", "output path (default: stdout)")
+		scale = flag.Int("scale", 200_000, "instructions per measured operation")
+		seed  = flag.Uint64("seed", 42, "workload seed")
+		wl    = flag.String("workload", "lspr", "workload for the replay benchmarks")
+		only  = flag.String("only", "", "measure only entries whose name has this prefix")
+	)
+	flag.Parse()
+
+	entries, err := measure(*scale, *seed, *wl, *only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zbench:", err)
+		os.Exit(1)
+	}
+	doc := benchDoc{
+		Schema:      schema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Scale:       *scale,
+		Entries:     entries,
+	}
+	js, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zbench:", err)
+		os.Exit(1)
+	}
+	js = append(js, '\n')
+	if *out == "" {
+		os.Stdout.Write(js)
+		return
+	}
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "zbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "zbench: wrote %d entries to %s\n", len(entries), *out)
+}
+
+// measure runs every selected benchmark through testing.Benchmark and
+// renders the results as entries. Progress goes to stderr because the
+// document may be going to stdout.
+func measure(scale int, seed uint64, wl, only string) ([]benchEntry, error) {
+	p, err := workload.MakePacked(wl, seed, scale)
+	if err != nil {
+		return nil, err
+	}
+
+	type bench struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	benches := []bench{
+		{"replay/packed", func(b *testing.B) { replayPacked(b, p, scale) }},
+		{"replay/packed-iface", func(b *testing.B) { replayIface(b, p, scale) }},
+		{"replay/streaming", func(b *testing.B) { replayStreaming(b, wl, seed, scale) }},
+	}
+	for _, gen := range core.Generations() {
+		cfg := sim.ForGeneration(gen)
+		name := "sim/" + gen.Name
+		benches = append(benches, bench{name, func(b *testing.B) { simPacked(b, cfg, p, scale) }})
+	}
+
+	var entries []benchEntry
+	for _, bm := range benches {
+		if only != "" && !strings.HasPrefix(bm.name, only) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "zbench: %s...\n", bm.name)
+		r := testing.Benchmark(bm.fn)
+		if r.N == 0 {
+			return nil, fmt.Errorf("%s: benchmark did not run", bm.name)
+		}
+		entries = append(entries, benchEntry{
+			Name:         bm.name,
+			Instructions: scale,
+			Iterations:   r.N,
+			WallNsPerOp:  r.NsPerOp(),
+			NsPerInstr:   float64(r.NsPerOp()) / float64(scale),
+			AllocsPerOp:  r.AllocsPerOp(),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+		})
+	}
+	return entries, nil
+}
+
+// replayPacked drains the packed cursor through the concrete
+// *trace.Cursor.Next — the monomorphized path the fast core's front
+// end takes. The loop body mirrors BenchmarkPackedReplay/packed: the
+// checksum keeps the record loads live.
+func replayPacked(b *testing.B, p *trace.Packed, n int) {
+	b.ReportAllocs()
+	cur := p.Cursor()
+	b.ResetTimer()
+	var sum uint64
+	for i := 0; i < b.N; i++ {
+		cur.Reset()
+		for j := 0; j < n; j++ {
+			r, ok := cur.Next()
+			if !ok {
+				b.Fatalf("cursor ended after %d of %d records", j, n)
+			}
+			sum += uint64(r.Addr) + uint64(r.Len())
+		}
+	}
+	if sum == 0 {
+		b.Fatal("replay checksum is zero")
+	}
+}
+
+// replayIface drains the same cursor through the trace.Source
+// interface, keeping the dispatch tax visible in the trajectory. The
+// drain lives behind a noinline boundary so the compiler cannot
+// devirtualize the call back into the concrete cursor path.
+func replayIface(b *testing.B, p *trace.Packed, n int) {
+	b.ReportAllocs()
+	cur := p.Cursor()
+	b.ResetTimer()
+	var sum uint64
+	for i := 0; i < b.N; i++ {
+		cur.Reset()
+		s, ok := drainSource(&cur, n)
+		if !ok {
+			b.Fatalf("source ended before %d records", n)
+		}
+		sum += s
+	}
+	if sum == 0 {
+		b.Fatal("replay checksum is zero")
+	}
+}
+
+//go:noinline
+func drainSource(src trace.Source, n int) (uint64, bool) {
+	var sum uint64
+	for j := 0; j < n; j++ {
+		r, ok := src.Next()
+		if !ok {
+			return sum, false
+		}
+		sum += uint64(r.Addr) + uint64(r.Len())
+	}
+	return sum, true
+}
+
+// replayStreaming regenerates the workload per operation — the cost a
+// sweep pays per design point without materialize-once.
+func replayStreaming(b *testing.B, wl string, seed uint64, n int) {
+	b.ReportAllocs()
+	var sum uint64
+	for i := 0; i < b.N; i++ {
+		src, err := workload.Make(wl, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			r, ok := src.Next()
+			if !ok {
+				b.Fatalf("source ended after %d of %d records", j, n)
+			}
+			sum += uint64(r.Addr) + uint64(r.Len())
+		}
+	}
+	if sum == 0 {
+		b.Fatal("replay checksum is zero")
+	}
+}
+
+// simPacked runs one full hook-free simulation per operation (the fast
+// core) over a fresh cursor on the shared packed buffer.
+func simPacked(b *testing.B, cfg sim.Config, p *trace.Packed, n int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cur := p.Cursor()
+		res := sim.RunWorkload(cfg, &cur, n)
+		if !res.FastCore {
+			b.Fatal("hook-free simulation did not take the fast core")
+		}
+		if res.Instructions() < int64(n)-1000 {
+			b.Fatalf("retired %d of %d instructions", res.Instructions(), n)
+		}
+	}
+}

@@ -90,14 +90,9 @@ func (g Geometry) validate() error {
 	return nil
 }
 
-type entry struct {
-	valid bool
-	tag   uint64
-	// offset of the branch within the line, in bytes.
-	offset uint16
-	info   Info
-	stamp  uint64 // LRU timestamp, larger = more recent
-}
+// Table entry storage is structure-of-arrays (see Table): the logical
+// per-way record is {valid, tag, offset, info, stamp}, split into flat
+// parallel slices indexed row*Ways+way.
 
 // Hit is one matching entry from a line search.
 type Hit struct {
@@ -158,9 +153,23 @@ type Event struct {
 }
 
 // Table is one set-associative BTB level (used for both BTB1 and BTB2).
+//
+// Entry state is held structure-of-arrays: one flat slice per logical
+// field, indexed row*Ways+way. The every-cycle operations (SearchLine,
+// Lookup) only consult valid+tag(+offset) to find matching ways, so
+// the SoA split means a row scan touches a few bytes per way in
+// contiguous memory instead of pulling whole ~72-byte AoS entries
+// (most of which is the Info payload, only needed on a hit) through
+// the cache. The row base index is computed once per touch and every
+// way access is a single-level indexed load off it.
 type Table struct {
-	geo      Geometry
-	sets     [][]entry
+	geo Geometry
+	// Parallel per-way columns, row-major (index row*Ways+way).
+	valid  []bool
+	tag    []uint64
+	offset []uint16 // branch offset within the line, in bytes
+	stamp  []uint64 // LRU timestamp, larger = more recent
+	info   []Info
 	tick     uint64
 	stats    Stats
 	observer func(Event)
@@ -187,12 +196,15 @@ func New(geo Geometry) *Table {
 	if err := geo.validate(); err != nil {
 		panic(err)
 	}
-	sets := make([][]entry, geo.Rows())
-	backing := make([]entry, geo.Rows()*geo.Ways)
-	for i := range sets {
-		sets[i], backing = backing[:geo.Ways], backing[geo.Ways:]
+	n := geo.Rows() * geo.Ways
+	return &Table{
+		geo:    geo,
+		valid:  make([]bool, n),
+		tag:    make([]uint64, n),
+		offset: make([]uint16, n),
+		stamp:  make([]uint64, n),
+		info:   make([]Info, n),
 	}
-	return &Table{geo: geo, sets: sets}
 }
 
 // Geometry returns the table geometry.
@@ -228,26 +240,29 @@ func (t *Table) offsetOf(addr zarch.Addr) uint16 {
 func (t *Table) SearchLine(line zarch.Addr) []Hit {
 	t.stats.Searches++
 	line = t.geo.Line(line)
-	row := t.sets[t.row(line)]
+	base := t.row(line) * t.geo.Ways
 	tag := t.tagOf(line)
 	if t.searchBuf == nil {
 		t.searchBuf = make([]Hit, 0, t.geo.Ways)
 	}
 	hits := t.searchBuf[:0]
 	t.tick++
-	for w := range row {
-		e := &row[w]
-		if !e.valid || e.tag != tag {
+	// Batched row touch: one pass over the row's valid+tag columns
+	// finds every matching way; the wide Info payload is only loaded
+	// for hits.
+	for w := 0; w < t.geo.Ways; w++ {
+		i := base + w
+		if !t.valid[i] || t.tag[i] != tag {
 			continue
 		}
-		info := e.info
-		rec := line + zarch.Addr(e.offset)
+		info := t.info[i]
+		rec := line + zarch.Addr(t.offset[i])
 		aliased := info.Addr != rec
 		info.Addr = rec
 		if aliased {
 			t.stats.AliasedHits++
 		}
-		e.stamp = t.tick
+		t.stamp[i] = t.tick
 		hits = append(hits, Hit{Info: info, Way: w, Aliased: aliased})
 	}
 	if len(hits) > 0 {
@@ -270,14 +285,14 @@ func (t *Table) SearchLine(line zarch.Addr) []Hit {
 // duplicate check and by completion updates.
 func (t *Table) Lookup(addr zarch.Addr) (Info, bool) {
 	t.stats.Lookups++
-	row := t.sets[t.row(addr)]
+	base := t.row(addr) * t.geo.Ways
 	tag := t.tagOf(addr)
 	off := t.offsetOf(addr)
-	for w := range row {
-		e := &row[w]
-		if e.valid && e.tag == tag && e.offset == off {
+	for w := 0; w < t.geo.Ways; w++ {
+		i := base + w
+		if t.valid[i] && t.tag[i] == tag && t.offset[i] == off {
 			t.stats.LookupHits++
-			info := e.info
+			info := t.info[i]
 			info.Addr = addr
 			return info, true
 		}
@@ -289,14 +304,14 @@ func (t *Table) Lookup(addr zarch.Addr) (Info, bool) {
 // whether an entry was found. Does not touch LRU (completion updates
 // should not refresh recency in this model).
 func (t *Table) Update(addr zarch.Addr, fn func(*Info)) bool {
-	row := t.sets[t.row(addr)]
+	base := t.row(addr) * t.geo.Ways
 	tag := t.tagOf(addr)
 	off := t.offsetOf(addr)
-	for w := range row {
-		e := &row[w]
-		if e.valid && e.tag == tag && e.offset == off {
-			fn(&e.info)
-			t.emit(EvUpdate, t.row(addr), w, e.info)
+	for w := 0; w < t.geo.Ways; w++ {
+		i := base + w
+		if t.valid[i] && t.tag[i] == tag && t.offset[i] == off {
+			fn(&t.info[i])
+			t.emit(EvUpdate, t.row(addr), w, t.info[i])
 			return true
 		}
 	}
@@ -311,57 +326,66 @@ func (t *Table) Update(addr zarch.Addr, fn func(*Info)) bool {
 func (t *Table) Install(info Info) (victim Info, evicted bool) {
 	t.stats.Installs++
 	rowIdx := t.row(info.Addr)
-	row := t.sets[rowIdx]
+	base := rowIdx * t.geo.Ways
 	tag := t.tagOf(info.Addr)
 	off := t.offsetOf(info.Addr)
 	t.tick++
 	// Duplicate check (read before write).
-	for w := range row {
-		e := &row[w]
-		if e.valid && e.tag == tag && e.offset == off {
-			e.info = info
-			e.stamp = t.tick
+	for w := 0; w < t.geo.Ways; w++ {
+		i := base + w
+		if t.valid[i] && t.tag[i] == tag && t.offset[i] == off {
+			t.info[i] = info
+			t.stamp[i] = t.tick
 			t.stats.Updates++
 			t.emit(EvUpdate, rowIdx, w, info)
 			return Info{}, false
 		}
 	}
 	// Free way?
-	for w := range row {
-		e := &row[w]
-		if !e.valid {
-			*e = entry{valid: true, tag: tag, offset: off, info: info, stamp: t.tick}
+	for w := 0; w < t.geo.Ways; w++ {
+		i := base + w
+		if !t.valid[i] {
+			t.set(i, tag, off, info)
 			t.emit(EvInstall, rowIdx, w, info)
 			return Info{}, false
 		}
 	}
 	// Evict LRU.
 	lru := 0
-	for w := 1; w < len(row); w++ {
-		if row[w].stamp < row[lru].stamp {
+	for w := 1; w < t.geo.Ways; w++ {
+		if t.stamp[base+w] < t.stamp[base+lru] {
 			lru = w
 		}
 	}
-	victim = row[lru].info
+	victim = t.info[base+lru]
 	t.emit(EvEvict, rowIdx, lru, victim)
-	row[lru] = entry{valid: true, tag: tag, offset: off, info: info, stamp: t.tick}
+	t.set(base+lru, tag, off, info)
 	t.stats.Evictions++
 	t.emit(EvInstall, rowIdx, lru, info)
 	return victim, true
 }
 
+// set writes one logical entry across the columns at flat index i.
+func (t *Table) set(i int, tag uint64, off uint16, info Info) {
+	t.valid[i] = true
+	t.tag[i] = tag
+	t.offset[i] = off
+	t.stamp[i] = t.tick
+	t.info[i] = info
+}
+
 // Invalidate removes the entry matching addr, reporting whether one
 // existed. Used when the IDU detects a bad branch prediction (§IV).
 func (t *Table) Invalidate(addr zarch.Addr) bool {
-	row := t.sets[t.row(addr)]
+	base := t.row(addr) * t.geo.Ways
 	tag := t.tagOf(addr)
 	off := t.offsetOf(addr)
-	for w := range row {
-		e := &row[w]
-		if e.valid && e.tag == tag && e.offset == off {
-			e.valid = false
+	for w := 0; w < t.geo.Ways; w++ {
+		i := base + w
+		if t.valid[i] && t.tag[i] == tag && t.offset[i] == off {
+			t.valid[i] = false
 			t.stats.Invalidates++
-			t.emit(EvInvalidate, t.row(addr), w, e.info)
+			t.emit(EvInvalidate, t.row(addr), w, t.info[i])
 			return true
 		}
 	}
@@ -372,22 +396,21 @@ func (t *Table) Invalidate(addr zarch.Addr) bool {
 // row is full. The periodic refresh mechanism writes this entry back to
 // the BTB2 (§III).
 func (t *Table) LRUVictim(line zarch.Addr) (Info, bool) {
-	row := t.sets[t.row(line)]
+	base := t.row(line) * t.geo.Ways
 	lru, found := 0, true
-	for w := range row {
-		if !row[w].valid {
+	for w := 0; w < t.geo.Ways; w++ {
+		if !t.valid[base+w] {
 			found = false
 			break
 		}
-		if row[w].stamp < row[lru].stamp {
+		if t.stamp[base+w] < t.stamp[base+lru] {
 			lru = w
 		}
 	}
 	if !found {
 		return Info{}, false
 	}
-	info := row[lru].info
-	return info, true
+	return t.info[base+lru], true
 }
 
 // SearchRegion scans consecutive lines starting at from, collecting up
@@ -400,15 +423,15 @@ func (t *Table) SearchRegion(from zarch.Addr, lines, maxBranches int) []Info {
 	out := t.regionBuf[:0]
 	line := t.geo.Line(from)
 	for l := 0; l < lines && len(out) < maxBranches; l++ {
-		row := t.sets[t.row(line)]
+		base := t.row(line) * t.geo.Ways
 		tag := t.tagOf(line)
-		for w := range row {
-			e := &row[w]
-			if !e.valid || e.tag != tag {
+		for w := 0; w < t.geo.Ways; w++ {
+			i := base + w
+			if !t.valid[i] || t.tag[i] != tag {
 				continue
 			}
-			info := e.info
-			info.Addr = line + zarch.Addr(e.offset)
+			info := t.info[i]
+			info.Addr = line + zarch.Addr(t.offset[i])
 			out = append(out, info)
 			if len(out) >= maxBranches {
 				break
@@ -432,11 +455,9 @@ func (t *Table) SearchRegion(from zarch.Addr, lines, maxBranches int) []Info {
 // verification harness).
 func (t *Table) Occupancy() int {
 	n := 0
-	for _, row := range t.sets {
-		for _, e := range row {
-			if e.valid {
-				n++
-			}
+	for _, v := range t.valid {
+		if v {
+			n++
 		}
 	}
 	return n
@@ -444,11 +465,11 @@ func (t *Table) Occupancy() int {
 
 // Reset invalidates every entry and clears statistics.
 func (t *Table) Reset() {
-	for _, row := range t.sets {
-		for w := range row {
-			row[w] = entry{}
-		}
-	}
+	clear(t.valid)
+	clear(t.tag)
+	clear(t.offset)
+	clear(t.stamp)
+	clear(t.info)
 	t.tick = 0
 	t.stats = Stats{}
 }

@@ -112,6 +112,19 @@ func (p *Preload) Promote(addr zarch.Addr) (Info, bool) {
 	return Info{}, false
 }
 
+// Invalidate removes the entry for addr, if present, without counting
+// a promote: the IDU found the branch to be bogus (§IV bad prediction).
+func (p *Preload) Invalidate(addr zarch.Addr) bool {
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.valid && e.info.Addr == addr {
+			e.valid = false
+			return true
+		}
+	}
+	return false
+}
+
 // Occupancy returns the number of valid entries.
 func (p *Preload) Occupancy() int {
 	n := 0
@@ -164,6 +177,18 @@ func (s *Stage) Pop() (Info, bool) {
 	copy(s.buf, s.buf[1:])
 	s.buf = s.buf[:len(s.buf)-1]
 	return info, true
+}
+
+// Remove discards every queued transfer for addr (an IDU-detected bad
+// prediction must not re-enter the BTB1 from an in-flight backfill).
+func (s *Stage) Remove(addr zarch.Addr) {
+	kept := s.buf[:0]
+	for _, info := range s.buf {
+		if info.Addr != addr {
+			kept = append(kept, info)
+		}
+	}
+	s.buf = kept
 }
 
 // Len returns the current queue depth.

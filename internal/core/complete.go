@@ -237,10 +237,32 @@ func SurpriseInfo(addr zarch.Addr, length uint8, kind zarch.BranchKind, target z
 	return info
 }
 
-// BadPrediction removes a BTB1 entry the IDU exposed as nonsense -- a
+// BadPrediction removes an entry the IDU exposed as nonsense -- a
 // prediction in the middle of an instruction or on a non-branch,
 // caused by partial tagging (§IV). The front end restarts separately.
+//
+// The purge must cover every path a search could be resupplied from,
+// not just the BTB1: on the pre-z15 designs the aliased entry also
+// lives in (or flows back through) the BTBP, the BTB2, the staging
+// queue, and the pending write queue. Invalidating only the BTB1 left
+// a live-lock: restart at the bad address, three empty searches, the
+// BTB2 miss-run backfill re-stages the same entry, the IDU flags it
+// bad again — forever.
 func (c *Core) BadPrediction(p Prediction) {
 	c.btb1.Invalidate(p.Addr)
+	if c.btbp != nil {
+		c.btbp.Invalidate(p.Addr)
+	}
+	if c.btb2 != nil {
+		c.btb2.Invalidate(p.Addr)
+	}
+	c.stage.Remove(p.Addr)
+	kept := c.writeQ[:0]
+	for _, info := range c.writeQ {
+		if info.Addr != p.Addr {
+			kept = append(kept, info)
+		}
+	}
+	c.writeQ = kept
 	c.stats.BadPredictions++
 }

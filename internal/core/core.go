@@ -137,8 +137,17 @@ type thread struct {
 
 	noPredRun      int
 	noPredRunStart zarch.Addr // line where the current no-hit run began
-	predQ          []Prediction
+	// predQ is the prediction queue, consumed from predHead: pops
+	// advance the head instead of copying the tail down, so the
+	// per-instruction consume path never moves ~200-byte Predictions.
+	// Space ahead of the head is reclaimed lazily before an append
+	// would outgrow the fixed-capacity backing array.
+	predQ    []Prediction
+	predHead int
 }
+
+// queueLen returns the number of queued predictions (visible or not).
+func (th *thread) queueLen() int { return len(th.predQ) - th.predHead }
 
 // Core is the asynchronous lookahead branch predictor.
 type Core struct {
@@ -294,6 +303,7 @@ func (c *Core) Restart(t int, addr zarch.Addr, ctx uint16) {
 	th.epoch++
 	th.stream = 0
 	th.predQ = th.predQ[:0]
+	th.predHead = 0
 	th.searchAddr = addr
 	th.nextB0 = c.clock + 1
 	th.gpvSpec = th.gpvArch
@@ -361,13 +371,13 @@ func (c *Core) Cycle() {
 		if !th.active || c.clock < th.nextB0 || !c.portAvailable(t) {
 			continue
 		}
-		if len(th.predQ) >= c.cfg.PredQueueCap {
+		if th.queueLen() >= c.cfg.PredQueueCap {
 			// Consumers are full: stop sending (§IV back-pressure).
 			c.stats.QueueStallCycles++
 			continue
 		}
 		for i := 0; i < c.cfg.SearchesPerCycleST; i++ {
-			if c.clock < th.nextB0 || len(th.predQ) >= c.cfg.PredQueueCap {
+			if c.clock < th.nextB0 || th.queueLen() >= c.cfg.PredQueueCap {
 				break
 			}
 			c.issueSearch(t)
@@ -567,6 +577,13 @@ func (c *Core) issueSearch(t int) {
 				c.pushWrite(info)
 			}
 		}
+		if len(th.predQ) == cap(th.predQ) && th.predHead > 0 {
+			// Reclaim consumed space so the append below cannot
+			// outgrow (and reallocate) the fixed-capacity array.
+			n := copy(th.predQ, th.predQ[th.predHead:])
+			th.predQ = th.predQ[:n]
+			th.predHead = 0
+		}
 		th.predQ = append(th.predQ, pred)
 		if c.predictHook != nil {
 			c.predictHook(pred)
@@ -692,27 +709,55 @@ func neededBy(h *btb.Hit) cpred.PowerMask {
 // PeekPred returns the oldest visible prediction for a thread without
 // consuming it. Predictions are visible once their b5 cycle has passed.
 func (c *Core) PeekPred(t int) (Prediction, bool) {
+	if p := c.VisiblePred(t); p != nil {
+		return *p, true
+	}
+	return Prediction{}, false
+}
+
+// VisiblePred returns a pointer to the oldest visible prediction, or
+// nil when none is presentable this cycle. This is the copy-free peek
+// the per-instruction dispatch path uses: Prediction is ~200 bytes, so
+// peeking by value would move it on every dispatched instruction. The
+// pointee is owned by the core and must be treated as read-only; it
+// stays valid across DropPred but not across the next Cycle or Restart.
+func (c *Core) VisiblePred(t int) *Prediction {
 	th := &c.threads[t]
-	if len(th.predQ) == 0 {
-		return Prediction{}, false
+	if th.predHead >= len(th.predQ) {
+		return nil
 	}
-	p := th.predQ[0]
+	p := &th.predQ[th.predHead]
 	if p.PresentedAt > c.clock {
-		return Prediction{}, false
+		return nil
 	}
-	return p, true
+	return p
 }
 
 // PopPred consumes the oldest visible prediction.
 func (c *Core) PopPred(t int) (Prediction, bool) {
-	p, ok := c.PeekPred(t)
-	if !ok {
+	p := c.VisiblePred(t)
+	if p == nil {
 		return Prediction{}, false
 	}
+	res := *p
+	c.DropPred(t)
+	return res, true
+}
+
+// DropPred consumes the oldest visible prediction without copying it
+// out; it is a no-op when nothing is visible. Pointers obtained from
+// VisiblePred before the drop stay readable afterwards (the queue head
+// only advances; nothing is overwritten until the core cycles again).
+func (c *Core) DropPred(t int) {
+	if c.VisiblePred(t) == nil {
+		return
+	}
 	th := &c.threads[t]
-	copy(th.predQ, th.predQ[1:])
-	th.predQ = th.predQ[:len(th.predQ)-1]
-	return p, true
+	th.predHead++
+	if th.predHead == len(th.predQ) {
+		th.predQ = th.predQ[:0]
+		th.predHead = 0
+	}
 }
 
 // SearchProgress reports how far the BPL has searched on a thread: the
@@ -725,7 +770,7 @@ func (c *Core) SearchProgress(t int) (stream uint64, searchedTo zarch.Addr, epoc
 }
 
 // QueueLen returns the number of queued predictions (visible or not).
-func (c *Core) QueueLen(t int) int { return len(c.threads[t].predQ) }
+func (c *Core) QueueLen(t int) int { return c.threads[t].queueLen() }
 
 // Covered reports whether the BPL's visible output covers address addr
 // on the given stream: the search has passed it AND every prediction at
@@ -741,7 +786,7 @@ func (c *Core) Covered(t int, epoch, stream uint64, addr zarch.Addr) bool {
 	if th.stream < stream || (th.stream == stream && th.searchAddr <= addr) {
 		return false
 	}
-	for i := range th.predQ {
+	for i := th.predHead; i < len(th.predQ); i++ {
 		p := &th.predQ[i]
 		if p.PresentedAt > c.clock &&
 			(p.Stream < stream || (p.Stream == stream && p.Addr <= addr)) {

@@ -3,8 +3,9 @@
 // crosschecking methodology: instead of trusting any single execution
 // path, the same (config, workload, seed, budget) cell is pushed
 // through pairs of paths that must agree exactly — packed replay vs
-// streaming generation, pooled vs direct execution, cancellable vs
-// plain run loops, reset-reuse vs fresh state, event-log reconstruction
+// streaming generation, fast vs instrumented cycle loop, pooled vs
+// direct execution, cancellable vs plain run loops, reset-reuse vs
+// fresh state, event-log reconstruction
 // vs counter aggregation — plus metamorphic invariants (capacity
 // monotonicity, prefix bounds, SMT2 aggregation sanity) that need not
 // be exact but bound how results may move.
@@ -71,11 +72,12 @@ type Check struct {
 	run  func(ctx context.Context, env *cellEnv, rep *verif.DiffReport) error
 }
 
-// Checks returns every registered check in execution order: the five
+// Checks returns every registered check in execution order: the six
 // exact pairs first, then the metamorphic invariants.
 func Checks() []Check {
 	return []Check{
 		{"packed-vs-streaming", Exact, checkPackedVsStreaming},
+		{"fast-vs-instrumented", Exact, checkFastVsInstrumented},
 		{"pool-1-vs-n", Exact, checkPool1VsN},
 		{"run-vs-runctx", Exact, checkRunVsRunCtx},
 		{"fresh-vs-reset", Exact, checkFreshVsReset},

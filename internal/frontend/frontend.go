@@ -143,6 +143,11 @@ type Thread struct {
 	c   *core.Core
 	ic  *icache.Hierarchy
 	src trace.Source
+	// cur is set when src is a packed-trace cursor: the per-instruction
+	// next path then calls the concrete, inlinable Cursor.Next instead
+	// of dispatching through the Source interface (the monomorphized
+	// replay path every packed run takes).
+	cur *trace.Cursor
 	// peek is the one-record lookahead buffer; kept by value so the
 	// per-instruction next/consume cycle never heap-allocates.
 	peek     trace.Rec
@@ -177,6 +182,9 @@ type Thread struct {
 // nil to disable I-cache modeling.
 func NewThread(cfg Config, id int, c *core.Core, ic *icache.Hierarchy, src trace.Source) *Thread {
 	t := &Thread{cfg: cfg, id: id, c: c, ic: ic, src: src}
+	if cur, ok := src.(*trace.Cursor); ok {
+		t.cur = cur
+	}
 	t.stats.RestartHist = NewRestartHist()
 	return t
 }
@@ -187,6 +195,16 @@ func (f *Thread) Stats() Stats {
 	s.Done = f.done
 	return s
 }
+
+// Instructions returns the retired-instruction count alone, without
+// copying the whole Stats struct; the run loop polls it every cycle
+// for progress (live-lock) detection.
+func (f *Thread) Instructions() int64 { return f.stats.Instructions }
+
+// Hooked reports whether any cycle-level event observer is attached to
+// this thread; a hooked thread pins the simulation to the instrumented
+// run loop.
+func (f *Thread) Hooked() bool { return f.resolveHook != nil || f.restartHook != nil }
 
 // RegisterMetrics registers the thread's live counters under prefix.
 func (f *Thread) RegisterMetrics(r *metrics.Registry, prefix string) {
@@ -216,7 +234,15 @@ func (f *Thread) next() (trace.Rec, bool) {
 	if f.havePeek {
 		return f.peek, true
 	}
-	r, ok := f.src.Next()
+	var (
+		r  trace.Rec
+		ok bool
+	)
+	if f.cur != nil {
+		r, ok = f.cur.Next()
+	} else {
+		r, ok = f.src.Next()
+	}
 	if !ok {
 		return trace.Rec{}, false
 	}
@@ -274,7 +300,7 @@ func (f *Thread) Step(now int64) {
 			f.c.Deactivate(f.id)
 			return
 		}
-		if bytes+int(r.Len) > f.cfg.FetchBytes {
+		if bytes+int(r.Len()) > f.cfg.FetchBytes {
 			break
 		}
 
@@ -308,9 +334,9 @@ func (f *Thread) Step(now int64) {
 			return
 		}
 
-		if p, ok := f.c.PeekPred(f.id); ok && p.Epoch == f.epochOfCore() &&
+		if p := f.c.VisiblePred(f.id); p != nil && p.Epoch == f.epochOfCore() &&
 			p.Stream == f.stream && p.Addr == r.Addr && r.IsBranch() {
-			f.c.PopPred(f.id)
+			f.c.DropPred(f.id)
 			if f.applyDynamic(now, r, p) {
 				return
 			}
@@ -321,7 +347,7 @@ func (f *Thread) Step(now int64) {
 		} else {
 			f.dispatch(r)
 		}
-		bytes += int(r.Len)
+		bytes += int(r.Len())
 	}
 }
 
@@ -359,8 +385,8 @@ func (f *Thread) dispatch(r trace.Rec) {
 // restarts the front end (§IV). Returns true if a restart was issued.
 func (f *Thread) handleBadPredictions(now int64, r trace.Rec) bool {
 	for {
-		p, ok := f.c.PeekPred(f.id)
-		if !ok || p.Epoch != f.epochOfCore() {
+		p := f.c.VisiblePred(f.id)
+		if p == nil || p.Epoch != f.epochOfCore() {
 			return false
 		}
 		stale := p.Stream < f.stream ||
@@ -369,30 +395,33 @@ func (f *Thread) handleBadPredictions(now int64, r trace.Rec) bool {
 		if !stale {
 			return false
 		}
-		f.c.PopPred(f.id)
-		f.c.BadPrediction(p)
+		f.c.DropPred(f.id)
+		f.c.BadPrediction(*p)
 		f.stats.BadPredictions++
 		f.restart(now, r.Addr, r.CtxID, f.cfg.BadPredPenalty)
 		return true
 	}
 }
 
-// applyDynamic applies a dynamic prediction to branch r. Returns true
-// if a restart was issued (caller must stop dispatching this cycle).
-func (f *Thread) applyDynamic(now int64, r trace.Rec, p core.Prediction) bool {
+// applyDynamic applies a dynamic prediction to branch r. The
+// prediction is passed by pointer (it is ~200 bytes and this runs once
+// per dynamically predicted branch); the pointee is read-only core
+// state, already consumed from the queue. Returns true if a restart
+// was issued (caller must stop dispatching this cycle).
+func (f *Thread) applyDynamic(now int64, r trace.Rec, p *core.Prediction) bool {
 	f.stats.Instructions++
 	f.stats.Branches++
 	f.stats.DynamicPredicted++
 	f.consume()
 
-	out := core.Outcome{Pred: p, Taken: r.Taken, Target: r.Target}
+	out := core.Outcome{Pred: *p, Taken: r.Taken(), Target: r.Target}
 	f.c.Complete(out)
 
 	if f.resolveHook != nil {
 		f.resolveHook(now, r, true, !out.WrongDirection() && !out.WrongTarget())
 	}
 
-	if p.Taken && r.Taken {
+	if p.Taken && r.Taken() {
 		prov := int(p.Tgt.Provider)
 		if prov >= 0 && prov < len(f.stats.TgtProvided) {
 			f.stats.TgtProvided[prov]++
@@ -413,7 +442,7 @@ func (f *Thread) applyDynamic(now int64, r trace.Rec, p core.Prediction) bool {
 		return true
 	default:
 		f.stats.DynCorrect++
-		if r.Taken {
+		if r.Taken() {
 			// Follow the predictor into the next stream.
 			f.stream = p.Stream + 1
 			f.streamEntry = p.Addr
@@ -433,28 +462,28 @@ func (f *Thread) applySurprise(now int64, r trace.Rec) bool {
 	f.consume()
 
 	f.c.CompleteSurprise(core.Surprise{
-		Thread: f.id, Addr: r.Addr, Len: r.Len, Kind: r.Kind,
-		Taken: r.Taken, Target: r.Target, Ctx: r.CtxID,
+		Thread: f.id, Addr: r.Addr, Len: r.Len(), Kind: r.Kind(),
+		Taken: r.Taken(), Target: r.Target, Ctx: r.CtxID,
 		StreamEntry: f.streamEntry, HasStreamEntry: f.hasStreamEntry,
 	})
 
-	guess := r.Kind.StaticGuessTaken()
+	guess := r.Kind().StaticGuessTaken()
 	if f.resolveHook != nil {
-		f.resolveHook(now, r, false, guess == r.Taken)
+		f.resolveHook(now, r, false, guess == r.Taken())
 	}
 	switch {
-	case guess != r.Taken:
+	case guess != r.Taken():
 		// Wrong static guess: full branch-wrong restart.
 		f.stats.SurpriseWrong++
 		f.restart(now, r.Next(), r.CtxID, f.cfg.RestartPenalty+f.cfg.QueueRefillPenalty)
 		return true
-	case r.Taken && r.Kind.Indirect():
+	case r.Taken() && r.Kind().Indirect():
 		// Correctly guessed taken, but the target comes from the
 		// execution units: the front end shuts down and waits (§IV).
 		f.stats.SurpriseTakenInd++
 		f.restart(now, r.Target, r.CtxID, f.cfg.SurpriseTakenIndPenalty)
 		return true
-	case r.Taken:
+	case r.Taken():
 		// Correctly guessed taken relative: front end computes the
 		// target itself; short redirect bubble.
 		f.stats.SurpriseTakenRel++

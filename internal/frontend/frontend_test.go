@@ -17,16 +17,15 @@ func loopTrace(base zarch.Addr, iters int) []trace.Rec {
 	var recs []trace.Rec
 	for i := 0; i < iters; i++ {
 		recs = append(recs,
-			trace.Rec{Addr: base, Len: 4},
-			trace.Rec{Addr: base + 4, Len: 4},
-			trace.Rec{Addr: base + 8, Len: 4, Kind: zarch.KindCondRel,
-				Taken: i < iters-1, Target: base},
+			trace.NewRec(base, 4, zarch.KindNone, false, 0, 0),
+			trace.NewRec(base+4, 4, zarch.KindNone, false, 0, 0),
+			trace.NewRec(base+8, 4, zarch.KindCondRel, i < iters-1, base, 0),
 		)
 	}
 	// A few trailing sequential instructions.
 	a := base + 12
 	for i := 0; i < 4; i++ {
-		recs = append(recs, trace.Rec{Addr: a, Len: 4})
+		recs = append(recs, trace.NewRec(a, 4, zarch.KindNone, false, 0, 0))
 		a += 4
 	}
 	return recs
@@ -82,10 +81,10 @@ func TestMispredictChargesRestart(t *testing.T) {
 	// A branch whose BTB entry says strong-taken but trace says
 	// not-taken: one wrong-direction mispredict, restart penalty.
 	recs := []trace.Rec{
-		{Addr: 0x10000, Len: 4},
-		{Addr: 0x10004, Len: 4, Kind: zarch.KindCondRel, Taken: false},
-		{Addr: 0x10008, Len: 4},
-		{Addr: 0x1000c, Len: 4},
+		trace.NewRec(0x10000, 4, zarch.KindNone, false, 0, 0),
+		trace.NewRec(0x10004, 4, zarch.KindCondRel, false, 0, 0),
+		trace.NewRec(0x10008, 4, zarch.KindNone, false, 0, 0),
+		trace.NewRec(0x1000c, 4, zarch.KindNone, false, 0, 0),
 	}
 	entry := btb.Info{Addr: 0x10004, Len: 4, Kind: zarch.KindCondRel,
 		Target: 0x20000, BHT: sat.StrongT, Skoot: btb.SkootUnknown}
@@ -104,10 +103,10 @@ func TestMispredictChargesRestart(t *testing.T) {
 
 func TestWrongTargetDetected(t *testing.T) {
 	recs := []trace.Rec{
-		{Addr: 0x10000, Len: 4},
-		{Addr: 0x10004, Len: 2, Kind: zarch.KindUncondInd, Taken: true, Target: 0x30000},
-		{Addr: 0x30000, Len: 4},
-		{Addr: 0x30004, Len: 4},
+		trace.NewRec(0x10000, 4, zarch.KindNone, false, 0, 0),
+		trace.NewRec(0x10004, 2, zarch.KindUncondInd, true, 0x30000, 0),
+		trace.NewRec(0x30000, 4, zarch.KindNone, false, 0, 0),
+		trace.NewRec(0x30004, 4, zarch.KindNone, false, 0, 0),
 	}
 	entry := btb.Info{Addr: 0x10004, Len: 2, Kind: zarch.KindUncondInd,
 		Target: 0x20000, BHT: sat.StrongT, Skoot: btb.SkootUnknown}
@@ -125,9 +124,9 @@ func TestSurprisePenalties(t *testing.T) {
 	cfg := DefaultConfig()
 	// Taken indirect surprise: front end waits for execution.
 	recs := []trace.Rec{
-		{Addr: 0x10000, Len: 4},
-		{Addr: 0x10004, Len: 2, Kind: zarch.KindUncondInd, Taken: true, Target: 0x30000},
-		{Addr: 0x30000, Len: 4},
+		trace.NewRec(0x10000, 4, zarch.KindNone, false, 0, 0),
+		trace.NewRec(0x10004, 2, zarch.KindUncondInd, true, 0x30000, 0),
+		trace.NewRec(0x30000, 4, zarch.KindNone, false, 0, 0),
 	}
 	st, _ := runFE(t, core.Z15(), cfg, recs)
 	if st.SurpriseTakenInd != 1 {
@@ -139,9 +138,9 @@ func TestSurprisePenalties(t *testing.T) {
 
 	// Taken relative surprise (uncond): cheap front-end redirect.
 	recs2 := []trace.Rec{
-		{Addr: 0x10000, Len: 4},
-		{Addr: 0x10004, Len: 4, Kind: zarch.KindUncondRel, Taken: true, Target: 0x30000},
-		{Addr: 0x30000, Len: 4},
+		trace.NewRec(0x10000, 4, zarch.KindNone, false, 0, 0),
+		trace.NewRec(0x10004, 4, zarch.KindUncondRel, true, 0x30000, 0),
+		trace.NewRec(0x30000, 4, zarch.KindNone, false, 0, 0),
 	}
 	st2, _ := runFE(t, core.Z15(), cfg, recs2)
 	if st2.SurpriseTakenRel != 1 {
@@ -153,9 +152,9 @@ func TestSurprisePenalties(t *testing.T) {
 
 	// Wrong static guess: conditional resolved taken.
 	recs3 := []trace.Rec{
-		{Addr: 0x10000, Len: 4},
-		{Addr: 0x10004, Len: 4, Kind: zarch.KindCondRel, Taken: true, Target: 0x30000},
-		{Addr: 0x30000, Len: 4},
+		trace.NewRec(0x10000, 4, zarch.KindNone, false, 0, 0),
+		trace.NewRec(0x10004, 4, zarch.KindCondRel, true, 0x30000, 0),
+		trace.NewRec(0x30000, 4, zarch.KindNone, false, 0, 0),
 	}
 	st3, _ := runFE(t, core.Z15(), cfg, recs3)
 	if st3.SurpriseWrong != 1 {
@@ -170,10 +169,10 @@ func TestBadPredictionDetectedAndRemoved(t *testing.T) {
 	// Preload a BTB entry claiming a branch at an address that holds a
 	// plain instruction: the IDU must detect it, invalidate, restart.
 	recs := []trace.Rec{
-		{Addr: 0x10000, Len: 4},
-		{Addr: 0x10004, Len: 4}, // not a branch!
-		{Addr: 0x10008, Len: 4},
-		{Addr: 0x1000c, Len: 4},
+		trace.NewRec(0x10000, 4, zarch.KindNone, false, 0, 0),
+		trace.NewRec(0x10004, 4, zarch.KindNone, false, 0, 0), // not a branch!
+		trace.NewRec(0x10008, 4, zarch.KindNone, false, 0, 0),
+		trace.NewRec(0x1000c, 4, zarch.KindNone, false, 0, 0),
 	}
 	entry := btb.Info{Addr: 0x10004, Len: 4, Kind: zarch.KindUncondRel,
 		Target: 0x20000, BHT: sat.StrongT, Skoot: btb.SkootUnknown}
@@ -192,9 +191,9 @@ func TestBadPredictionDetectedAndRemoved(t *testing.T) {
 func TestMidInstructionBadPrediction(t *testing.T) {
 	// Entry points into the middle of a 6-byte instruction.
 	recs := []trace.Rec{
-		{Addr: 0x10000, Len: 6},
-		{Addr: 0x10006, Len: 4},
-		{Addr: 0x1000a, Len: 4},
+		trace.NewRec(0x10000, 6, zarch.KindNone, false, 0, 0),
+		trace.NewRec(0x10006, 4, zarch.KindNone, false, 0, 0),
+		trace.NewRec(0x1000a, 4, zarch.KindNone, false, 0, 0),
 	}
 	entry := btb.Info{Addr: 0x10002, Len: 4, Kind: zarch.KindUncondRel,
 		Target: 0x20000, BHT: sat.StrongT, Skoot: btb.SkootUnknown}
@@ -213,7 +212,7 @@ func TestDispatchSyncStallCounted(t *testing.T) {
 	var recs []trace.Rec
 	a := zarch.Addr(0x10000)
 	for i := 0; i < 3000; i++ {
-		recs = append(recs, trace.Rec{Addr: a, Len: 4})
+		recs = append(recs, trace.NewRec(a, 4, zarch.KindNone, false, 0, 0))
 		a += 4
 	}
 	st, _ := runFE(t, core.Z15(), DefaultConfig(), recs)
@@ -229,10 +228,10 @@ func TestDispatchSyncStallCounted(t *testing.T) {
 
 func TestCtxSwitchRestarts(t *testing.T) {
 	recs := []trace.Rec{
-		{Addr: 0x10000, Len: 4, CtxID: 1},
-		{Addr: 0x10004, Len: 4, CtxID: 1},
-		{Addr: 0x50000, Len: 4, CtxID: 2},
-		{Addr: 0x50004, Len: 4, CtxID: 2},
+		trace.NewRec(0x10000, 4, zarch.KindNone, false, 0, 1),
+		trace.NewRec(0x10004, 4, zarch.KindNone, false, 0, 1),
+		trace.NewRec(0x50000, 4, zarch.KindNone, false, 0, 2),
+		trace.NewRec(0x50004, 4, zarch.KindNone, false, 0, 2),
 	}
 	st, _ := runFE(t, core.Z15(), DefaultConfig(), recs)
 	if st.Instructions != 4 {

@@ -113,6 +113,12 @@ type Server struct {
 	inflight        atomic.Int64
 	sweepCellErrors atomic.Int64
 	diffDivergences atomic.Int64
+	// fastCoreRuns counts simulations that executed on the specialized
+	// no-sink replay loop (sim.Result.FastCore). The service never
+	// attaches an EventSink, so in a healthy deployment this tracks
+	// completed simulate runs plus sweep cells; a drop to zero means a
+	// code change knocked the hot path off the fast core.
+	fastCoreRuns atomic.Int64
 
 	// runNanosEWMA tracks a smoothed per-task queue-slot duration (ns),
 	// feeding the Retry-After estimate on 429 responses.
@@ -162,6 +168,7 @@ func (s *Server) buildRegistry() *metrics.Registry {
 	gauge("zbpd.inflight", &s.inflight)
 	gauge("zbpd.sweep_cell_errors_total", &s.sweepCellErrors)
 	gauge("zbpd.diff_divergences_total", &s.diffDivergences)
+	gauge("zbpd.fast_core_runs_total", &s.fastCoreRuns)
 	reg.Gauge("zbpd.run_seconds_ewma", func() float64 {
 		return time.Duration(s.runNanosEWMA.Load()).Seconds()
 	})
@@ -308,6 +315,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.completed.Add(1)
 	s.instructions.Add(res.Instructions())
+	if res.FastCore {
+		s.fastCoreRuns.Add(1)
+	}
 	resp := SimulateResponse{
 		Config:       req.Config,
 		Workload:     req.Workload,
@@ -460,6 +470,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			cell.Error = r.Err.Error()
 			resp.Errors++
 			s.sweepCellErrors.Add(1)
+		} else if r.Res.FastCore {
+			s.fastCoreRuns.Add(1)
 		}
 		resp.Cells[i] = cell
 	}

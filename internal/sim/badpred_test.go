@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"zbp/internal/core"
+	"zbp/internal/trace"
+	"zbp/internal/workload"
+)
+
+// TestBadPredictionPurge pins the fix for an SMT2 live-lock on the
+// pre-z15 configurations: a partial-tag bad prediction invalidated
+// only in the BTB1 was re-staged by the BTB2 miss-run backfill on the
+// next restart, so the front end looped bad-predict -> restart ->
+// backfill at the same address forever. zEC12/lspr-small at seeds
+// 1234/1235 reproduced it deterministically; the purge in
+// core.BadPrediction (BTB1 + BTBP + BTB2 + staging queue + write
+// queue) must let the run complete.
+func TestBadPredictionPurge(t *testing.T) {
+	p1, err := workload.MakePacked("lspr-small", 1234, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := workload.MakePacked("lspr-small", 1235, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gen := range core.Generations() {
+		cfg := ForGeneration(gen)
+		t.Run(gen.Name, func(t *testing.T) {
+			ca, cb := p1.Cursor(), p2.Cursor()
+			res, err := New(cfg, []trace.Source{&ca, &cb}).RunCtx(context.Background(), 0)
+			if err != nil {
+				t.Fatalf("SMT2 run failed: %v", err)
+			}
+			if got, want := res.Instructions(), int64(40000); got != want {
+				t.Fatalf("retired %d instructions, want %d", got, want)
+			}
+		})
+	}
+}

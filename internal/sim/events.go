@@ -231,10 +231,15 @@ func appendBool(b []byte, v bool) []byte {
 // I-cache fills. Call it before Run. A nil sink is a no-op; when no
 // sink is set the hot path pays nothing beyond one nil hook check per
 // event site (verified by the capacity-sweep allocation benchmark).
+//
+// Attaching a sink also switches Run/RunCtx from the specialized fast
+// loop to the instrumented one (see fast.go); results stay
+// byte-identical either way.
 func (s *Sim) SetEventSink(sink EventSink) {
 	if sink == nil {
 		return
 	}
+	s.instrumented = true
 	c := s.core
 	c.SetPredictHook(func(p core.Prediction) {
 		sink.Emit(Event{Cycle: p.PresentedAt, Kind: EvPredict, Thread: p.Thread,
@@ -244,7 +249,7 @@ func (s *Sim) SetEventSink(sink EventSink) {
 		id := t.ID()
 		t.SetResolveHook(func(now int64, r trace.Rec, dynamic, correct bool) {
 			sink.Emit(Event{Cycle: now, Kind: EvResolve, Thread: id,
-				Addr: r.Addr, Target: r.Target, Taken: r.Taken,
+				Addr: r.Addr, Target: r.Target, Taken: r.Taken(),
 				Dynamic: dynamic, Correct: correct})
 		})
 		t.SetRestartHook(func(now int64, addr zarch.Addr, penalty int64) {

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+)
+
+// This file holds the specialized replay core: the cycle loop Run and
+// RunCtx execute when no EventSink is attached. It is semantically
+// identical to the instrumented loop in sim.go — same check order
+// (done, maxCycles, cancellation, cycle, step, tick, progress), same
+// truncation and live-lock behavior — but every per-cycle bookkeeping
+// access is monomorphized down to a plain integer load:
+//
+//   - thread progress is read through Thread.Instructions (one int64
+//     load) instead of copying the whole frontend.Stats struct per
+//     cycle, which the CPU profile showed as runtime.duffcopy heat;
+//   - the thread set is unrolled for the ST and SMT2 shapes (the only
+//     two core.MaxThreads allows), so the loop body has no slice
+//     range or per-iteration bounds checks on the hot spine.
+//
+// The deeper specialization lives below this loop and benefits both
+// cores: the front end calls the concrete *trace.Cursor.Next for
+// packed replays instead of dispatching through the Source interface
+// (frontend.go), predictions are peeked by pointer instead of copied
+// (core.go), and BTB rows are flat structure-of-arrays columns
+// (btb.go). Note Go generics would not achieve the cursor
+// monomorphization: gcshape stenciling collapses all pointer type
+// arguments into one dictionary-dispatched instantiation, so the
+// concrete-field-plus-nil-check form is the one the inliner can see
+// through.
+//
+// Equivalence between the two loops is machine-checked, not assumed:
+// the fast-vs-instrumented pair in internal/equiv compares stats JSON
+// byte-for-byte across the full grid, and TestEventSinkToggle pins the
+// boundary inside this package.
+
+// runFast is the specialized no-sink cycle loop.
+func (s *Sim) runFast(ctx context.Context, maxCycles int64) (Result, error) {
+	cancel := ctx.Done()
+	c := s.core
+	var lastInstr int64
+	var lastProgress int64
+	truncated := false
+	var runErr error
+
+	t0 := s.threads[0]
+	t1 := t0
+	smt := len(s.threads) > 1
+	if smt {
+		t1 = s.threads[1]
+	}
+
+loop:
+	for {
+		if t0.Done() && t1.Done() {
+			break
+		}
+		clk := c.Clock()
+		if maxCycles > 0 && clk >= maxCycles {
+			truncated = true
+			break
+		}
+		if cancel != nil && clk&ctxCheckMask == 0 {
+			select {
+			case <-cancel:
+				truncated = true
+				runErr = ctx.Err()
+				break loop
+			default:
+			}
+		}
+		c.Cycle()
+		now := c.Clock()
+		t0.Step(now)
+		if smt {
+			t1.Step(now)
+		}
+		if s.ic != nil {
+			s.ic.Tick(now)
+		}
+		instr := t0.Instructions()
+		if smt {
+			instr += t1.Instructions()
+		}
+		if instr > lastInstr {
+			lastInstr = instr
+			lastProgress = now
+		} else if now-lastProgress > liveLockWindow {
+			truncated = true
+			runErr = fmt.Errorf("%w: %d cycles without progress at clock %d (%d instructions)",
+				ErrLiveLock, now-lastProgress, now, instr)
+			break
+		}
+	}
+	res := s.result()
+	res.Truncated = truncated
+	res.FastCore = true
+	return res, runErr
+}
+
+// ForceInstrumentedCore pins this simulation to the instrumented
+// cycle loop even though no EventSink is attached. It exists for the
+// differential harness: the fast-vs-instrumented equiv pair runs the
+// same workload through both loops and requires their stats JSON to
+// match byte-for-byte. Production callers never need it — attaching a
+// sink switches loops automatically.
+func (s *Sim) ForceInstrumentedCore() { s.instrumented = true }

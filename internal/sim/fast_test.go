@@ -1,0 +1,172 @@
+package sim_test
+
+import (
+	"context"
+	"testing"
+
+	"zbp/internal/core"
+	"zbp/internal/sim"
+	"zbp/internal/trace"
+	"zbp/internal/workload"
+)
+
+// statsOf runs one simulation to completion and returns its canonical
+// stats JSON plus the core-selection flag.
+func statsOf(t *testing.T, s *sim.Sim) ([]byte, bool) {
+	t.Helper()
+	res, err := s.RunCtx(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := res.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return js, res.FastCore
+}
+
+// TestEventSinkToggle sweeps a small config x workload grid three ways
+// per cell — fast core (no sink), instrumented core forced with no
+// sink, and instrumented core via an attached EventSink — and requires
+// byte-identical stats JSON from all three. Attaching observability
+// must never change what is observed; this is the in-package
+// counterpart of the fast-vs-instrumented equiv pair.
+func TestEventSinkToggle(t *testing.T) {
+	const n = 8000
+	for _, cfgName := range []string{"z15", "zEC12"} {
+		gen, err := core.ByName(cfgName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.ForGeneration(gen)
+		for _, wl := range []string{"patterned", "callret"} {
+			t.Run(cfgName+"/"+wl, func(t *testing.T) {
+				p, err := workload.MakePacked(wl, 42, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mk := func() *sim.Sim {
+					cur := p.Cursor()
+					return sim.New(cfg, []trace.Source{&cur})
+				}
+
+				fastJS, fastCore := statsOf(t, mk())
+				if !fastCore {
+					t.Fatal("sink-free run did not select the fast core")
+				}
+
+				forced := mk()
+				forced.ForceInstrumentedCore()
+				forcedJS, forcedFast := statsOf(t, forced)
+				if forcedFast {
+					t.Fatal("ForceInstrumentedCore run reports FastCore")
+				}
+				if string(fastJS) != string(forcedJS) {
+					t.Error("instrumented core (forced) diverges from fast core")
+				}
+
+				sunk := mk()
+				ring := sim.NewRingSink(64)
+				sunk.SetEventSink(ring)
+				sunkJS, sunkFast := statsOf(t, sunk)
+				if sunkFast {
+					t.Fatal("run with an EventSink attached reports FastCore")
+				}
+				if string(fastJS) != string(sunkJS) {
+					t.Error("attaching an EventSink changed the stats JSON")
+				}
+				if ring.Total() == 0 {
+					t.Error("attached sink observed no events")
+				}
+			})
+		}
+	}
+}
+
+// TestSetEventSinkNilKeepsFastCore pins the boundary condition: a nil
+// sink is a no-op and must not knock the run off the fast core.
+func TestSetEventSinkNilKeepsFastCore(t *testing.T) {
+	p, err := workload.MakePacked("patterned", 7, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := p.Cursor()
+	s := sim.New(sim.Z15(), []trace.Source{&cur})
+	s.SetEventSink(nil)
+	_, fast := statsOf(t, s)
+	if !fast {
+		t.Error("SetEventSink(nil) disabled the fast core")
+	}
+}
+
+// TestFastCoreSMT2 covers the unrolled two-thread shape of the fast
+// loop: an SMT2 run with no sink must take the fast core and agree
+// byte-for-byte with the instrumented loop.
+func TestFastCoreSMT2(t *testing.T) {
+	const n = 6000
+	mk := func() *sim.Sim {
+		p0, err := workload.MakePacked("patterned", 42, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, err := workload.MakePacked("callret", 43, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c0, c1 := p0.Cursor(), p1.Cursor()
+		return sim.New(sim.Z15(), []trace.Source{&c0, &c1})
+	}
+
+	fastJS, fastCore := statsOf(t, mk())
+	if !fastCore {
+		t.Fatal("SMT2 sink-free run did not select the fast core")
+	}
+	forced := mk()
+	forced.ForceInstrumentedCore()
+	forcedJS, _ := statsOf(t, forced)
+	if string(fastJS) != string(forcedJS) {
+		t.Error("SMT2 fast core diverges from instrumented core")
+	}
+}
+
+// TestFastCoreTruncation checks the fast loop honors the maxCycles
+// budget and marks the result truncated, like the instrumented loop.
+func TestFastCoreTruncation(t *testing.T) {
+	p, err := workload.MakePacked("patterned", 42, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := p.Cursor()
+	res, err := sim.New(sim.Z15(), []trace.Source{&cur}).RunCtx(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FastCore {
+		t.Error("truncated run did not use the fast core")
+	}
+	if !res.Truncated {
+		t.Error("maxCycles-bounded fast run not marked Truncated")
+	}
+	if res.Cycles > 100 {
+		t.Errorf("fast core ran %d cycles past a 100-cycle budget", res.Cycles)
+	}
+}
+
+// TestFastCoreCancellation checks cooperative cancellation on the fast
+// loop's throttled context poll.
+func TestFastCoreCancellation(t *testing.T) {
+	p, err := workload.MakePacked("patterned", 42, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cur := p.Cursor()
+	res, err := sim.New(sim.Z15(), []trace.Source{&cur}).RunCtx(ctx, 0)
+	if err != context.Canceled {
+		t.Fatalf("RunCtx on a canceled context returned %v, want context.Canceled", err)
+	}
+	if !res.Truncated {
+		t.Error("canceled fast run not marked Truncated")
+	}
+}

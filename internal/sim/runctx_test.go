@@ -18,7 +18,7 @@ func straightLine(n int) trace.Source {
 	recs := make([]trace.Rec, n)
 	addr := zarch.Addr(0x1000)
 	for i := range recs {
-		recs[i] = trace.Rec{Addr: addr, Len: 4, Kind: zarch.KindNone}
+		recs[i] = trace.NewRec(addr, 4, zarch.KindNone, false, 0, 0)
 		addr += 4
 	}
 	return trace.NewSliceSource(recs)

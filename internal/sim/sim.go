@@ -67,6 +67,14 @@ type Result struct {
 	// the work done so far, but its headline metrics describe a prefix
 	// of the workload, not the whole trace.
 	Truncated bool
+	// FastCore reports that the run executed on the specialized
+	// replay loop (no EventSink attached) rather than the
+	// instrumented one. Diagnostic only: like Truncated it is
+	// deliberately absent from the stats JSON schema, because fast
+	// and instrumented runs of the same workload must stay
+	// byte-identical (enforced by the fast-vs-instrumented equiv
+	// pair).
+	FastCore bool
 	Cycles    int64
 	Threads   []frontend.Stats
 	Core      core.Stats
@@ -138,6 +146,11 @@ type Sim struct {
 	core    *core.Core
 	ic      *icache.Hierarchy
 	threads []*frontend.Thread
+	// instrumented pins Run/RunCtx to the instrumented cycle loop.
+	// SetEventSink sets it (event hooks need the hook-dispatching
+	// loop's pacing guarantees observable per cycle); tests force it
+	// via ForceInstrumentedCore to prove both loops byte-identical.
+	instrumented bool
 }
 
 // New builds a simulation over one source per thread (1 = single
@@ -232,7 +245,16 @@ const ctxCheckMask = 4096 - 1
 // Cancellation is cooperative — the context is polled every 4096
 // cycles — so a canceled simulation stops within microseconds without
 // leaking its goroutine.
+//
+// RunCtx selects the execution core automatically: with no EventSink
+// attached it runs the specialized fast loop (see fast.go); attaching
+// a sink falls back to this instrumented loop. Both produce
+// byte-identical results — the choice is purely a throughput
+// optimization, marked on Result.FastCore.
 func (s *Sim) RunCtx(ctx context.Context, maxCycles int64) (Result, error) {
+	if !s.instrumented {
+		return s.runFast(ctx, maxCycles)
+	}
 	cancel := ctx.Done()
 	var lastInstr int64
 	var lastProgress int64

@@ -81,13 +81,13 @@ func (tw *Writer) Write(r Rec) error {
 		}
 		tw.wroteHdr = true
 	}
-	lc, err := lenCode(r.Len)
+	lc, err := lenCode(r.Len())
 	if err != nil {
 		return err
 	}
-	flags := byte(r.Kind) & kindMask
+	flags := byte(r.Kind()) & kindMask
 	flags |= lc << lenShift
-	if r.Taken {
+	if r.Taken() {
 		flags |= flagTaken
 	}
 	if r.CtxID != tw.ctx || tw.count == 0 {
@@ -113,7 +113,7 @@ func (tw *Writer) Write(r Rec) error {
 		}
 		tw.ctx = r.CtxID
 	}
-	if r.Taken {
+	if r.Taken() {
 		// Targets are usually near the branch; store zig-zag delta.
 		d := int64(r.Target) - int64(r.Addr)
 		n := binary.PutVarint(buf[:], d)
@@ -121,7 +121,7 @@ func (tw *Writer) Write(r Rec) error {
 			return err
 		}
 	}
-	tw.expected = r.Addr + zarch.Addr(r.Len)
+	tw.expected = r.Addr + zarch.Addr(r.Len())
 	tw.count++
 	return nil
 }
@@ -196,14 +196,14 @@ func (tr *Reader) Next() (Rec, bool) {
 		return Rec{}, false
 	}
 	var rec Rec
-	rec.Kind = zarch.BranchKind(flags & kindMask)
+	kind := zarch.BranchKind(flags & kindMask)
 	n, err := codeLen(flags >> lenShift)
 	if err != nil {
 		tr.err = err
 		return Rec{}, false
 	}
-	rec.Len = n
-	rec.Taken = flags&flagTaken != 0
+	taken := flags&flagTaken != 0
+	rec.Meta = RecMeta(n, kind, taken)
 	if flags&flagHasAddr != 0 {
 		v, err := binary.ReadUvarint(tr.r)
 		if err != nil {
@@ -229,7 +229,7 @@ func (tr *Reader) Next() (Rec, bool) {
 		tr.ctx = uint16(v)
 	}
 	rec.CtxID = tr.ctx
-	if rec.Taken {
+	if taken {
 		d, err := binary.ReadVarint(tr.r)
 		if err != nil {
 			tr.err = fmt.Errorf("trace: reading target: %w", err)
@@ -241,7 +241,7 @@ func (tr *Reader) Next() (Rec, bool) {
 		tr.err = err
 		return Rec{}, false
 	}
-	tr.expected = rec.Addr + zarch.Addr(rec.Len)
+	tr.expected = rec.Addr + zarch.Addr(n)
 	tr.count++
 	return rec, true
 }

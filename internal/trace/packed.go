@@ -28,21 +28,8 @@ type Packed struct {
 	branches int
 }
 
-// meta byte layout: the branch kind in the low 3 bits, the taken bit,
-// and the instruction length (2/4/6 fits in 3 bits) in bits 4-6.
-const (
-	pkKindMask uint8 = 0x07
-	pkTaken    uint8 = 1 << 3
-	pkLenShift       = 4
-)
-
-func packMeta(r Rec) uint8 {
-	m := uint8(r.Kind)&pkKindMask | r.Len<<pkLenShift
-	if r.Taken {
-		m |= pkTaken
-	}
-	return m
-}
+// The meta column stores Rec.Meta verbatim (the RecMeta byte layout),
+// so packing and replay involve no per-record encode or decode.
 
 // grow pre-sizes every column for n more records.
 // maxPreallocRecs caps speculative pre-allocation driven by
@@ -74,7 +61,7 @@ func (p *Packed) appendRec(r Rec) error {
 	p.addr = append(p.addr, r.Addr)
 	p.tgt = append(p.tgt, r.Target)
 	p.ctx = append(p.ctx, r.CtxID)
-	p.meta = append(p.meta, packMeta(r))
+	p.meta = append(p.meta, r.Meta)
 	if r.IsBranch() {
 		p.branches++
 	}
@@ -126,13 +113,10 @@ func (p *Packed) SizeBytes() int {
 // At returns record i, reassembled from the columns. It performs no
 // validation: every record was validated when packed.
 func (p *Packed) At(i int) Rec {
-	m := p.meta[i]
 	return Rec{
 		Addr:   p.addr[i],
 		Target: p.tgt[i],
-		Len:    m >> pkLenShift,
-		Kind:   zarch.BranchKind(m & pkKindMask),
-		Taken:  m&pkTaken != 0,
+		Meta:   p.meta[i],
 		CtxID:  p.ctx[i],
 	}
 }
@@ -185,20 +169,20 @@ func (c *Cursor) Limit(n int) {
 	}
 }
 
-// Next implements Source.
+// Next implements Source. With Rec at four fields the compiler keeps
+// the returned record in registers when Next is inlined into a replay
+// loop, and the Meta byte is stored verbatim, so the per-record cost
+// is four indexed loads and a position bump.
 func (c *Cursor) Next() (Rec, bool) {
 	i := c.pos
 	if i >= c.end || i >= len(c.meta) {
 		return Rec{}, false
 	}
 	c.pos = i + 1
-	m := c.meta[i]
 	return Rec{
 		Addr:   c.addr[i],
 		Target: c.tgt[i],
-		Len:    m >> pkLenShift,
-		Kind:   zarch.BranchKind(m & pkKindMask),
-		Taken:  m&pkTaken != 0,
+		Meta:   c.meta[i],
 		CtxID:  c.ctx[i],
 	}, true
 }

@@ -12,13 +12,13 @@ import (
 // byte packs: all three lengths, taken and not-taken, context IDs.
 func packTestRecs() []Rec {
 	return []Rec{
-		{Addr: 0x1000, Len: 4, Kind: zarch.KindNone},
-		{Addr: 0x1004, Len: 2, Kind: zarch.KindCondRel, Taken: true, Target: 0x2000},
-		{Addr: 0x2000, Len: 6, Kind: zarch.KindNone, CtxID: 7},
-		{Addr: 0x2006, Len: 4, Kind: zarch.KindUncondInd, Taken: true, Target: 0x3000, CtxID: 7},
-		{Addr: 0x3000, Len: 2, Kind: zarch.KindLoop, Taken: false, CtxID: 7},
-		{Addr: 0x3002, Len: 4, Kind: zarch.KindCondInd, Taken: true, Target: 0x1000, CtxID: 3},
-		{Addr: 0x1000, Len: 6, Kind: zarch.KindUncondRel, Taken: true, Target: 0x1000},
+		NewRec(0x1000, 4, zarch.KindNone, false, 0, 0),
+		NewRec(0x1004, 2, zarch.KindCondRel, true, 0x2000, 0),
+		NewRec(0x2000, 6, zarch.KindNone, false, 0, 7),
+		NewRec(0x2006, 4, zarch.KindUncondInd, true, 0x3000, 7),
+		NewRec(0x3000, 2, zarch.KindLoop, false, 0, 7),
+		NewRec(0x3002, 4, zarch.KindCondInd, true, 0x1000, 3),
+		NewRec(0x1000, 6, zarch.KindUncondRel, true, 0x1000, 0),
 	}
 }
 
@@ -50,9 +50,9 @@ func TestPackRecsRoundTrip(t *testing.T) {
 
 func TestPackRejectsInvalid(t *testing.T) {
 	bad := []Rec{
-		{Addr: 0x1000, Len: 3, Kind: zarch.KindNone},                 // odd length
-		{Addr: 0x1000, Len: 4, Kind: zarch.BranchKind(6)},            // out-of-range kind
-		{Addr: 0x1000, Len: 4, Kind: zarch.KindCondRel, Taken: true}, // taken without target
+		NewRec(0x1000, 3, zarch.KindNone, false, 0, 0),      // odd length
+		NewRec(0x1000, 4, zarch.BranchKind(6), false, 0, 0), // out-of-range kind
+		NewRec(0x1000, 4, zarch.KindCondRel, true, 0, 0),    // taken without target
 	}
 	for i, r := range bad {
 		if _, err := PackRecs([]Rec{r}); err == nil {

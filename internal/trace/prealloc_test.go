@@ -14,7 +14,7 @@ func (s *shortSource) Next() (Rec, bool) {
 		return Rec{}, false
 	}
 	s.n--
-	return Rec{Addr: zarch.Addr(0x1000 + s.n*8), Kind: zarch.KindCondRel, Len: 4}, true
+	return NewRec(zarch.Addr(0x1000+s.n*8), 4, zarch.KindCondRel, false, 0, 0), true
 }
 
 // TestPackClampsPrealloc pins the pre-allocation clamp: a declared

@@ -19,42 +19,82 @@ import (
 // are meaningful. For branches, Taken and Target describe the resolved
 // (architectural) outcome; CtxID identifies the address space, used for
 // CTB tag matching and context-change BTB2 prefetch triggers.
+//
+// The length, branch kind and taken bit live packed in one Meta byte
+// (RecMeta builds it, Len/Kind/Taken unpack it) rather than as three
+// named fields. The packing is deliberate and load-bearing for the
+// replay fast path: a four-field struct is SSA-able, so the compiler
+// keeps records in registers through the cursor loop and drops loads
+// of unconsumed columns; at six fields every record round-trips
+// through a stack slot, which measured ~4x slower per record. The
+// Meta byte is also exactly the packed column Packed stores, so
+// packed replay decodes nothing.
 type Rec struct {
 	Addr   zarch.Addr
 	Target zarch.Addr // resolved target; 0 if not taken or not a branch
-	Len    uint8
-	Kind   zarch.BranchKind
-	Taken  bool
+	Meta   uint8      // packed len/kind/taken; build with RecMeta
 	CtxID  uint16
 }
 
+// Meta byte layout: the branch kind in the low 3 bits, the taken bit,
+// and the instruction length (2/4/6 fits in 3 bits) in bits 4-6.
+const (
+	metaKindMask uint8 = 0x07
+	metaTaken    uint8 = 1 << 3
+	metaLenShift       = 4
+)
+
+// RecMeta packs an instruction length, branch kind and taken flag
+// into Rec's Meta byte.
+func RecMeta(length uint8, kind zarch.BranchKind, taken bool) uint8 {
+	m := uint8(kind)&metaKindMask | length<<metaLenShift
+	if taken {
+		m |= metaTaken
+	}
+	return m
+}
+
+// NewRec assembles a record from unpacked fields.
+func NewRec(addr zarch.Addr, length uint8, kind zarch.BranchKind, taken bool, target zarch.Addr, ctx uint16) Rec {
+	return Rec{Addr: addr, Target: target, Meta: RecMeta(length, kind, taken), CtxID: ctx}
+}
+
+// Len returns the instruction length in bytes.
+func (r Rec) Len() uint8 { return r.Meta >> metaLenShift }
+
+// Kind returns the branch kind (KindNone for non-branches).
+func (r Rec) Kind() zarch.BranchKind { return zarch.BranchKind(r.Meta & metaKindMask) }
+
+// Taken reports whether the branch resolved taken.
+func (r Rec) Taken() bool { return r.Meta&metaTaken != 0 }
+
 // IsBranch reports whether the record is a branch instruction.
-func (r Rec) IsBranch() bool { return r.Kind.IsBranch() }
+func (r Rec) IsBranch() bool { return r.Kind().IsBranch() }
 
 // Next returns the address of the next instruction in program order.
 func (r Rec) Next() zarch.Addr {
-	if r.IsBranch() && r.Taken {
+	if r.IsBranch() && r.Taken() {
 		return r.Target
 	}
-	return r.Addr + zarch.Addr(r.Len)
+	return r.Addr + zarch.Addr(r.Len())
 }
 
 // Validate checks structural invariants of a single record.
 func (r Rec) Validate() error {
-	inst := zarch.Instruction{Addr: r.Addr, Len: r.Len, Kind: r.Kind}
+	inst := zarch.Instruction{Addr: r.Addr, Len: r.Len(), Kind: r.Kind()}
 	if err := inst.Validate(); err != nil {
 		return err
 	}
-	if !r.IsBranch() && r.Taken {
+	if !r.IsBranch() && r.Taken() {
 		return fmt.Errorf("trace: non-branch at %s marked taken", r.Addr)
 	}
-	if r.Taken && !r.Target.HalfwordAligned() {
+	if r.Taken() && !r.Target.HalfwordAligned() {
 		return fmt.Errorf("trace: branch at %s has misaligned target %s", r.Addr, r.Target)
 	}
-	if r.Taken && r.Target == 0 {
+	if r.Taken() && r.Target == 0 {
 		return fmt.Errorf("trace: taken branch at %s has zero target", r.Addr)
 	}
-	if !r.Kind.Conditional() && r.IsBranch() && !r.Taken {
+	if !r.Kind().Conditional() && r.IsBranch() && !r.Taken() {
 		return fmt.Errorf("trace: unconditional branch at %s resolved not-taken", r.Addr)
 	}
 	return nil
@@ -166,7 +206,7 @@ func Collect(src Source, max int) Stats {
 			break
 		}
 		st.Instructions++
-		st.Bytes += int(r.Len)
+		st.Bytes += int(r.Len())
 		lines[r.Addr.Line64()] = true
 		if !first && r.CtxID != lastCtx {
 			st.CtxSwitches++
@@ -176,13 +216,13 @@ func Collect(src Source, max int) Stats {
 		if r.IsBranch() {
 			st.Branches++
 			brs[r.Addr] = true
-			if r.Taken {
+			if r.Taken() {
 				st.Taken++
 			}
-			if r.Kind.Indirect() {
+			if r.Kind().Indirect() {
 				st.Indirect++
 			}
-			if r.Kind.Conditional() {
+			if r.Kind().Conditional() {
 				st.Conditional++
 			}
 		}

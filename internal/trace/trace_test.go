@@ -10,7 +10,7 @@ import (
 )
 
 func mkRec(addr uint64, ln uint8, kind zarch.BranchKind, taken bool, tgt uint64) Rec {
-	return Rec{Addr: zarch.Addr(addr), Len: ln, Kind: kind, Taken: taken, Target: zarch.Addr(tgt)}
+	return NewRec(zarch.Addr(addr), ln, kind, taken, zarch.Addr(tgt), 0)
 }
 
 func TestRecNext(t *testing.T) {
@@ -111,9 +111,9 @@ func synthRecs(seed uint64, n int) []Rec {
 					tgt = 0x40
 				}
 			}
-			rec = Rec{Addr: addr, Len: ln, Kind: k, Taken: taken, Target: tgt, CtxID: ctx}
+			rec = NewRec(addr, ln, k, taken, tgt, ctx)
 		} else {
-			rec = Rec{Addr: addr, Len: ln, CtxID: ctx}
+			rec = NewRec(addr, ln, 0, false, 0, ctx)
 		}
 		recs = append(recs, rec)
 		addr = rec.Next()
@@ -243,7 +243,7 @@ func TestCompactEncoding(t *testing.T) {
 	addr := zarch.Addr(0x1000)
 	n := 10000
 	for i := 0; i < n; i++ {
-		r := Rec{Addr: addr, Len: 4}
+		r := Rec{Addr: addr, Meta: RecMeta(4, 0, false)}
 		if err := w.Write(r); err != nil {
 			t.Fatal(err)
 		}

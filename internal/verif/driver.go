@@ -104,11 +104,11 @@ func preloadFromTrace(c *core.Core, p Params, src trace.Source) {
 		if !ok {
 			break
 		}
-		if !r.IsBranch() || !r.Taken || seen[r.Addr] {
+		if !r.IsBranch() || !r.Taken() || seen[r.Addr] {
 			continue
 		}
 		seen[r.Addr] = true
-		info := core.SurpriseInfo(r.Addr, r.Len, r.Kind, r.Target, r.Taken)
+		info := core.SurpriseInfo(r.Addr, r.Len(), r.Kind(), r.Target, r.Taken())
 		c.Preload(2, info)
 		if p.Preload >= 2 && rng.Bool(0.5) {
 			c.Preload(1, info)

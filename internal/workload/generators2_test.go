@@ -16,7 +16,7 @@ func TestInterpreterDispatchIsPeriodic(t *testing.T) {
 	counts := map[zarch.Addr]int{}
 	targets := map[zarch.Addr]map[zarch.Addr]bool{}
 	for _, r := range recs {
-		if r.Kind == zarch.KindUncondInd && r.Taken {
+		if r.Kind() == zarch.KindUncondInd && r.Taken() {
 			counts[r.Addr]++
 			if targets[r.Addr] == nil {
 				targets[r.Addr] = map[zarch.Addr]bool{}
@@ -41,7 +41,7 @@ func TestInterpreterDispatchIsPeriodic(t *testing.T) {
 	// sequence of the dispatch must be periodic with period 300.
 	var seq []zarch.Addr
 	for _, r := range recs {
-		if r.Addr == hot && r.Taken {
+		if r.Addr == hot && r.Taken() {
 			seq = append(seq, r.Target)
 		}
 	}
@@ -62,9 +62,9 @@ func TestBTreeBimodalBranches(t *testing.T) {
 	// call, return) are near-deterministic.
 	dirs := map[zarch.Addr][2]int{} // [notTaken, taken]
 	for _, r := range recs {
-		if r.Kind == zarch.KindCondRel {
+		if r.Kind() == zarch.KindCondRel {
 			d := dirs[r.Addr]
-			if r.Taken {
+			if r.Taken() {
 				d[1]++
 			} else {
 				d[0]++
@@ -90,7 +90,7 @@ func TestBTreeBimodalBranches(t *testing.T) {
 	// Returns exist and pair with the far leaf call.
 	rets := 0
 	for _, r := range recs {
-		if r.Kind == zarch.KindUncondInd && r.Taken {
+		if r.Kind() == zarch.KindUncondInd && r.Taken() {
 			rets++
 		}
 	}

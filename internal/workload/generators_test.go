@@ -137,17 +137,17 @@ func TestCallReturnHasFarCalls(t *testing.T) {
 	recs := trace.Take(src, 50000)
 	farCalls, rets := 0, 0
 	for _, r := range recs {
-		if !r.IsBranch() || !r.Taken {
+		if !r.IsBranch() || !r.Taken() {
 			continue
 		}
 		d := int64(r.Target) - int64(r.Addr)
 		if d < 0 {
 			d = -d
 		}
-		if r.Kind == zarch.KindUncondRel && d > 64*1024 {
+		if r.Kind() == zarch.KindUncondRel && d > 64*1024 {
 			farCalls++
 		}
-		if r.Kind == zarch.KindUncondInd {
+		if r.Kind() == zarch.KindUncondInd {
 			rets++
 		}
 	}
@@ -183,7 +183,7 @@ func TestIndirectTargetsVary(t *testing.T) {
 	recs := trace.Take(src, 50000)
 	targets := map[zarch.Addr]map[zarch.Addr]bool{}
 	for _, r := range recs {
-		if r.Kind == zarch.KindUncondInd && r.Taken {
+		if r.Kind() == zarch.KindUncondInd && r.Taken() {
 			if targets[r.Addr] == nil {
 				targets[r.Addr] = map[zarch.Addr]bool{}
 			}

@@ -577,7 +577,7 @@ func (e *Exec) Next() (trace.Rec, bool) {
 		n := &e.p.nodes[e.cur]
 		if e.padPos < len(n.padLens) {
 			ln := n.padLens[e.padPos]
-			r := trace.Rec{Addr: e.padAdr, Len: ln, CtxID: e.ctx}
+			r := trace.Rec{Addr: e.padAdr, Meta: trace.RecMeta(ln, 0, false), CtxID: e.ctx}
 			e.padPos++
 			e.padAdr += zarch.Addr(ln)
 			return r, true
@@ -608,10 +608,7 @@ func (e *Exec) Next() (trace.Rec, bool) {
 			if n.brKind.Conditional() {
 				e.pushHist(taken)
 			}
-			r := trace.Rec{
-				Addr: n.brAddr, Len: n.brLen, Kind: n.brKind,
-				Taken: taken, Target: target, CtxID: e.ctx,
-			}
+			r := trace.NewRec(n.brAddr, n.brLen, n.brKind, taken, target, e.ctx)
 			if taken {
 				e.path = e.path<<7 ^ e.path>>57 ^ uint64(target)>>1
 				e.tgtPos = (e.tgtPos + 1) % len(e.tgtRing)

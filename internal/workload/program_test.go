@@ -53,8 +53,8 @@ func TestBuilderSimpleLoop(t *testing.T) {
 	// Count loop-branch outcomes: taken twice then not taken, repeating.
 	var outcomes []bool
 	for _, r := range recs {
-		if r.Kind == zarch.KindLoop {
-			outcomes = append(outcomes, r.Taken)
+		if r.Kind() == zarch.KindLoop {
+			outcomes = append(outcomes, r.Taken())
 		}
 	}
 	if len(outcomes) < 6 {
@@ -145,10 +145,10 @@ func TestCallReturnStack(t *testing.T) {
 	var lastCallNSIA zarch.Addr
 	returns := 0
 	for _, r := range recs {
-		if r.Kind == zarch.KindUncondRel && r.Taken && r.Target == fn.Addr() {
-			lastCallNSIA = r.Addr + zarch.Addr(r.Len)
+		if r.Kind() == zarch.KindUncondRel && r.Taken() && r.Target == fn.Addr() {
+			lastCallNSIA = r.Addr + zarch.Addr(r.Len())
 		}
-		if r.Kind == zarch.KindUncondInd && r.Taken {
+		if r.Kind() == zarch.KindUncondInd && r.Taken() {
 			returns++
 			if r.Target != lastCallNSIA {
 				t.Fatalf("return to %s, want %s", r.Target, lastCallNSIA)
@@ -180,7 +180,7 @@ func TestSwitchRoundRobin(t *testing.T) {
 	recs := drain(t, e, 60)
 	var targets []zarch.Addr
 	for _, r := range recs {
-		if r.Kind == zarch.KindUncondInd {
+		if r.Kind() == zarch.KindUncondInd {
 			targets = append(targets, r.Target)
 		}
 	}
@@ -215,8 +215,8 @@ func TestCondPatternSequence(t *testing.T) {
 	recs := drain(t, e, 60)
 	var outcomes []bool
 	for _, r := range recs {
-		if r.Kind == zarch.KindCondRel {
-			outcomes = append(outcomes, r.Taken)
+		if r.Kind() == zarch.KindCondRel {
+			outcomes = append(outcomes, r.Taken())
 		}
 	}
 	want := []bool{true, false, false, true, false, false}
@@ -252,13 +252,13 @@ func TestCondLagCorrelation(t *testing.T) {
 	// Branch pairs: the lag-1 branch must copy the pattern branch.
 	var pat, lag []bool
 	for _, r := range recs {
-		if r.Kind != zarch.KindCondRel {
+		if r.Kind() != zarch.KindCondRel {
 			continue
 		}
 		if r.Addr == after1.Addr()+4 { // after1's branch is after its pads
-			lag = append(lag, r.Taken)
+			lag = append(lag, r.Taken())
 		} else {
-			pat = append(pat, r.Taken)
+			pat = append(pat, r.Taken())
 		}
 	}
 	if len(lag) < 10 {
