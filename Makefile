@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench bench-smoke bench-allocs bench-nsinstr bench-json exp race cover fuzz golden serve serve-smoke diff-smoke staticcheck
+.PHONY: all build test vet bench bench-smoke bench-allocs bench-nsinstr bench-json exp race cover fuzz golden serve serve-smoke jobs-smoke diff-smoke staticcheck
 
 all: build vet test
 
@@ -37,7 +37,7 @@ bench-nsinstr:
 
 # Regenerate the machine-readable benchmark trajectory document for
 # this PR (override PR= to change the filename suffix).
-PR ?= 6
+PR ?= 7
 bench-json:
 	go run ./cmd/zbench -out BENCH_$(PR).json
 
@@ -71,6 +71,12 @@ serve:
 # and require a clean SIGTERM drain. Wired into CI.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Async job API smoke: submit/poll/stream a sweep job against a
+# persistent result cache, prove an identical resubmission simulates
+# nothing, then SIGTERM with a job running. Wired into CI.
+jobs-smoke:
+	sh scripts/jobs_smoke.sh
 
 # Static analysis beyond go vet; staticcheck is installed on demand in
 # CI (go run pins the version without touching go.mod).

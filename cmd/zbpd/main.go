@@ -1,18 +1,29 @@
 // Command zbpd is the always-on simulation service: the predictor
 // model behind an HTTP/JSON API with bounded-queue backpressure,
-// per-request deadlines and graceful shutdown.
+// per-request deadlines, async jobs over a content-addressed result
+// cache, and graceful shutdown.
 //
 // Usage:
 //
-//	zbpd -addr :8347 -workers 4 -queue 16
+//	zbpd -addr :8347 -workers 4 -queue 16 -cache-dir /var/cache/zbpd
 //
 //	curl -s localhost:8347/v1/simulate -d '{"workload":"lspr","config":"z15","instructions":1000000}'
 //	curl -s localhost:8347/v1/sweep -d '{"configs":["z14","z15"],"workloads":["lspr","micro"]}'
+//	curl -s localhost:8347/v1/jobs -d '{"sweep":{"workloads":["loops","micro"],"seeds":[1,2]}}'
+//	curl -s localhost:8347/v1/jobs/<id>            # poll
+//	curl -sN localhost:8347/v1/jobs/<id>/events    # JSONL progress stream
+//	curl -s -X DELETE localhost:8347/v1/jobs/<id>  # cancel
 //	curl -s localhost:8347/healthz
 //	curl -s localhost:8347/metrics
 //
-// On SIGINT/SIGTERM the listener stops, in-flight simulations drain
-// (bounded by -grace), and only then does the process exit.
+// Job results are cached by content address (config + workload + seed
+// + budget + schema version); identical resubmissions are served
+// without simulating, and a background auditor recomputes sampled
+// cache hits through the equivalence harness (-audit-every).
+//
+// On SIGINT/SIGTERM the listener stops, running jobs and their event
+// streams are canceled, in-flight simulations drain (bounded by
+// -grace), and only then does the process exit.
 package main
 
 import (
@@ -41,10 +52,17 @@ func main() {
 		timeout  = flag.Duration("timeout", 60*time.Second, "default per-request simulation deadline")
 		maxTO    = flag.Duration("max-timeout", 5*time.Minute, "upper clamp on request-supplied deadlines")
 		grace    = flag.Duration("grace", 30*time.Second, "shutdown drain budget for in-flight work")
+
+		maxJobs    = flag.Int("max-jobs", 64, "async job table capacity (full table answers 429)")
+		jobTTL     = flag.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay pollable")
+		cacheMem   = flag.Int64("cache-mem-bytes", 256<<20, "in-memory result cache bound")
+		cacheDir   = flag.String("cache-dir", "", "directory for the persistent result cache (empty = memory only)")
+		cacheDisk  = flag.Int64("cache-disk-bytes", 1<<30, "on-disk result cache bound")
+		auditEvery = flag.Int("audit-every", 16, "recompute every Nth cache hit through the equiv auditor (negative disables)")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:             *workers,
 		QueueDepth:          *queue,
 		MaxInstructions:     *maxN,
@@ -52,7 +70,17 @@ func main() {
 		MaxSweepCells:       *maxCells,
 		DefaultTimeout:      *timeout,
 		MaxTimeout:          *maxTO,
+		MaxJobs:             *maxJobs,
+		JobTTL:              *jobTTL,
+		CacheMemBytes:       *cacheMem,
+		CacheDir:            *cacheDir,
+		CacheDiskBytes:      *cacheDisk,
+		AuditEvery:          *auditEvery,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zbpd:", err)
+		os.Exit(1)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -74,6 +102,10 @@ func main() {
 		}
 	case <-ctx.Done():
 		log.Printf("zbpd: signal received, draining (grace %v)", *grace)
+		// Drain first: it cancels running async jobs and terminates
+		// their event streams, so long-lived streaming connections do
+		// not hold Shutdown open for the whole grace budget.
+		srv.Drain()
 		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		// Shutdown stops the listener and waits for handlers — which

@@ -1,0 +1,105 @@
+package equiv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"zbp/internal/core"
+	"zbp/internal/metrics"
+	"zbp/internal/sim"
+	"zbp/internal/trace"
+	"zbp/internal/verif"
+	"zbp/internal/workload"
+)
+
+// AuditCheck names the findings the cache auditor emits, alongside
+// the pairwise checks in CheckNames.
+const AuditCheck = "cache-audit"
+
+// AuditCell identifies one cached simulation cell: the same content
+// address the result cache (internal/rcache) keys on, so a cached
+// stats payload can be re-derived from nothing but this spec. By the
+// service convention, Workload2 (when set) runs on the second
+// hardware thread at Seed+1.
+type AuditCell struct {
+	Config       string
+	Workload     string
+	Workload2    string
+	Seed         uint64
+	Instructions int
+}
+
+// Name renders the cell like Cell.Name, with the SMT2 partner when
+// present.
+func (c AuditCell) Name() string {
+	if c.Workload2 != "" {
+		return fmt.Sprintf("%s/%s+%s/s%d/n%d", c.Config, c.Workload, c.Workload2, c.Seed, c.Instructions)
+	}
+	return fmt.Sprintf("%s/%s/s%d/n%d", c.Config, c.Workload, c.Seed, c.Instructions)
+}
+
+// Audit is the cache-poisoning detector: it recomputes cell from
+// scratch — fresh generator, fresh packed buffer, fresh predictor
+// state — and byte-compares the canonical stats JSON against the
+// cached payload. The simulator's determinism (enforced by this
+// package's exact pairs) is what makes this sound: any byte of
+// divergence means the cached value is not what this simulator
+// produces for this spec, i.e. a poisoned, stale-schema, or corrupted
+// entry. Divergences come back as findings (check "cache-audit");
+// a non-nil error means the cell could not be recomputed at all.
+func Audit(ctx context.Context, cell AuditCell, cached []byte) ([]verif.Finding, error) {
+	if cell.Instructions <= 0 {
+		return nil, fmt.Errorf("equiv: audit cell %s needs a positive instruction budget", cell.Name())
+	}
+	gen, err := core.ByName(cell.Config)
+	if err != nil {
+		return nil, err
+	}
+	p, err := workload.MakePacked(cell.Workload, cell.Seed, cell.Instructions)
+	if err != nil {
+		return nil, err
+	}
+	cur := p.Cursor()
+	srcs := []trace.Source{&cur}
+	if cell.Workload2 != "" {
+		p2, err := workload.MakePacked(cell.Workload2, cell.Seed+1, cell.Instructions)
+		if err != nil {
+			return nil, err
+		}
+		cur2 := p2.Cursor()
+		srcs = append(srcs, &cur2)
+	}
+	res, err := sim.New(sim.ForGeneration(gen), srcs).RunCtx(ctx, 0)
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := res.StatsJSON()
+	if err != nil {
+		return nil, err
+	}
+	if bytes.Equal(fresh, cached) {
+		return nil, nil
+	}
+
+	// Attribute the divergence: decode the cached payload as a
+	// snapshot and diff metric by metric; an undecodable payload is
+	// corruption in its own right.
+	f := verif.Finding{Check: AuditCheck, Cell: cell.Name(), Cycle: -1}
+	var snap metrics.Snapshot
+	if uerr := json.Unmarshal(cached, &snap); uerr != nil {
+		f.Detail = fmt.Sprintf("cached stats payload is not valid stats JSON: %v", uerr)
+		return []verif.Finding{f}, nil
+	}
+	diffs := metrics.DiffSnapshots(snap, res.StatsSnapshot())
+	if len(diffs) == 0 {
+		f.Detail = "cached payload bytes differ from the canonical serialization (non-canonical or corrupted encoding)"
+		return []verif.Finding{f}, nil
+	}
+	metric, first := firstDiff(diffs)
+	f.Metric = metric
+	f.Detail = fmt.Sprintf("cached result diverges from fresh recomputation: %s (%d metrics differ)",
+		first, len(diffs))
+	return []verif.Finding{f}, nil
+}

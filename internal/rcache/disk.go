@@ -1,0 +1,143 @@
+package rcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Disk layer: one file per entry, named by the key's content hash,
+// written atomically (temp file in the same directory, then rename)
+// so a crash mid-write leaves either the old entry or none — never a
+// torn one. The first line is a header binding the file to its full
+// canonical key; the payload follows verbatim.
+//
+// The payload is deliberately unchecksummed — see the package comment:
+// integrity is the equiv auditor's job, end to end.
+
+// diskHeaderPrefix starts every entry file. The format version rides
+// in the key's canonical string, which follows on the same line.
+const diskHeaderPrefix = "zrc "
+
+// diskExt is the entry file suffix; eviction only ever touches these.
+const diskExt = ".zrc"
+
+// diskInit creates the store directory when the disk layer is on.
+func (c *Cache) diskInit() error {
+	if c.cfg.Dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("rcache: disk store: %w", err)
+	}
+	return nil
+}
+
+// diskPath maps a key to its entry file.
+func (c *Cache) diskPath(k Key) string {
+	return filepath.Join(c.cfg.Dir, k.Hash()+diskExt)
+}
+
+// diskLoad reads k's entry, verifying the header names exactly this
+// canonical key. Any mismatch (truncation, hash collision, foreign
+// file) counts as a miss plus a diskErrors bump — the caller simply
+// recomputes.
+func (c *Cache) diskLoad(k Key) ([]byte, bool) {
+	if c.cfg.Dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(c.diskPath(k))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.diskErrors.Add(1)
+		}
+		return nil, false
+	}
+	nl := bytes.IndexByte(b, '\n')
+	if nl < 0 || string(b[:nl]) != diskHeaderPrefix+k.canonical {
+		c.diskErrors.Add(1)
+		return nil, false
+	}
+	return b[nl+1:], true
+}
+
+// diskStore writes k's entry atomically, then trims the store back
+// under MaxDiskBytes. Write failures are recorded, not returned: the
+// memory layer already holds the result, and a full or read-only disk
+// must not fail the simulation that produced it.
+func (c *Cache) diskStore(k Key, v []byte) {
+	if c.cfg.Dir == "" {
+		return
+	}
+	tmp, err := os.CreateTemp(c.cfg.Dir, ".tmp-*")
+	if err != nil {
+		c.diskErrors.Add(1)
+		return
+	}
+	_, werr := fmt.Fprintf(tmp, "%s%s\n", diskHeaderPrefix, k.canonical)
+	if werr == nil {
+		_, werr = tmp.Write(v)
+	}
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		c.diskErrors.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.diskPath(k)); err != nil {
+		os.Remove(tmp.Name())
+		c.diskErrors.Add(1)
+		return
+	}
+	c.diskEvict()
+}
+
+// diskEvict removes oldest-modified entry files until the store fits
+// MaxDiskBytes again. The scan is O(entries); at the store's scale
+// (thousands of files at most) that is far cheaper than maintaining
+// an index that must survive crashes.
+func (c *Cache) diskEvict() {
+	des, err := os.ReadDir(c.cfg.Dir)
+	if err != nil {
+		return
+	}
+	type fileInfo struct {
+		name    string
+		size    int64
+		modUnix int64
+	}
+	var files []fileInfo
+	var total int64
+	for _, de := range des {
+		if de.IsDir() || filepath.Ext(de.Name()) != diskExt {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, fileInfo{de.Name(), fi.Size(), fi.ModTime().UnixNano()})
+		total += fi.Size()
+	}
+	if total <= c.cfg.MaxDiskBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].modUnix != files[j].modUnix {
+			return files[i].modUnix < files[j].modUnix
+		}
+		return files[i].name < files[j].name
+	})
+	// Never evict the newest file: like the memory layer, an oversized
+	// single entry stays resident rather than thrashing.
+	for _, f := range files[:len(files)-1] {
+		if total <= c.cfg.MaxDiskBytes {
+			return
+		}
+		if os.Remove(filepath.Join(c.cfg.Dir, f.name)) == nil {
+			total -= f.size
+		}
+	}
+}

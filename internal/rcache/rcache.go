@@ -1,0 +1,332 @@
+// Package rcache is the content-addressed result cache behind the
+// async job API. The simulator is deterministic down to byte-identical
+// stats JSON (the property internal/equiv enforces), so every
+// (config, workload, seed, budget) cell is infinitely cacheable: the
+// cell spec *is* the content address of its result. A repeated sweep
+// cell returns in microseconds instead of re-burning millions of
+// simulated cycles, and at scale real sweep traffic is mostly repeats.
+//
+// Layering: an in-memory LRU (bounded by bytes) sits in front of an
+// optional on-disk store (atomic write-then-rename, size-bounded
+// eviction), with per-key singleflight so N concurrent requests for
+// the same uncomputed cell run one simulation and share the bytes —
+// the same semantics workload.Materializer gives trace buffers.
+//
+// Integrity is end-to-end, not per-layer: the disk payload carries no
+// checksum on purpose. A checksum only catches bit-rot, not a wrong
+// compute or a poisoned write, and it would mask exactly the failures
+// the equiv-backed cache auditor (equiv.Audit, sampled over live
+// hits) exists to catch. The header line guards key identity (hash
+// collision, truncated file); the *values* are proven honest by
+// recomputation.
+package rcache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"zbp/internal/hashx"
+	"zbp/internal/metrics"
+)
+
+// FormatVersion identifies the cache entry layout (the meaning of the
+// stored bytes and the disk header). Bumping it invalidates every
+// existing key, exactly like a stats schema bump: both versions are
+// folded into the content address.
+const FormatVersion = 1
+
+// CellSpec identifies one deterministic simulation cell. It mirrors
+// the fields the service and the equiv harness use to reconstruct a
+// run exactly; two specs that canonicalize equal address the same
+// result bytes.
+//
+// Convention (shared with the zbpd service and equiv.Audit): when
+// Workload2 is set, the second hardware thread runs it at Seed+1.
+type CellSpec struct {
+	// Config is a machine preset name; empty canonicalizes to "z15",
+	// the service default, so a default-filled request and an explicit
+	// one hash equal.
+	Config string
+	// Workload names the synthetic workload (required).
+	Workload string
+	// Workload2, when set, runs on the second hardware thread (SMT2).
+	Workload2 string
+	// Seed is the generator seed for thread 0.
+	Seed uint64
+	// Instructions is the per-thread budget.
+	Instructions int
+}
+
+// canonicalized fills defaults so equivalent specs render identically.
+func (s CellSpec) canonicalized() CellSpec {
+	if s.Config == "" {
+		s.Config = "z15"
+	}
+	return s
+}
+
+// Key is the content address of one cell's result bytes: a canonical
+// rendering of the spec (fixed field order, defaults filled, format
+// and stats-schema versions folded in) plus its 64-bit hash. The
+// canonical string, not the hash, is the identity — the hash only
+// buckets map lookups and names disk files, and the disk header
+// re-checks the canonical form so a collision degrades to a miss.
+type Key struct {
+	canonical string
+	hash      uint64
+}
+
+// NewKey builds the content address of spec under the current cache
+// format and stats schema versions.
+func NewKey(spec CellSpec) Key {
+	return keyAt(spec, FormatVersion, metrics.SchemaVersion)
+}
+
+// keyAt renders the canonical form under explicit versions; split out
+// so tests can prove a version bump invalidates without editing
+// package constants.
+func keyAt(spec CellSpec, formatVersion, statsSchema int) Key {
+	c := spec.canonicalized()
+	canonical := fmt.Sprintf("zrc/%d|stats/%d|cfg=%s|wl=%s|wl2=%s|seed=%d|n=%d",
+		formatVersion, statsSchema, c.Config, c.Workload, c.Workload2, c.Seed, c.Instructions)
+	return Key{canonical: canonical, hash: hashx.Mix(hashx.String(canonical))}
+}
+
+// String returns the canonical spec rendering.
+func (k Key) String() string { return k.canonical }
+
+// Hash returns the 16-hex-digit content hash (the disk file stem).
+func (k Key) Hash() string { return fmt.Sprintf("%016x", k.hash) }
+
+// Config sizes a Cache. The zero value is a usable memory-only cache
+// with production-lean defaults.
+type Config struct {
+	// MaxMemBytes bounds the in-memory LRU by payload bytes. Default:
+	// 256 MiB. An entry larger than the bound is still admitted alone
+	// (evicting everything else) so oversized results stay cacheable.
+	MaxMemBytes int64
+	// Dir, when set, enables the on-disk store under this directory
+	// (created if missing). Entries survive process restarts.
+	Dir string
+	// MaxDiskBytes bounds the disk store; oldest files (by mtime) are
+	// evicted after each store. Default: 1 GiB.
+	MaxDiskBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxMemBytes <= 0 {
+		c.MaxMemBytes = 256 << 20
+	}
+	if c.MaxDiskBytes <= 0 {
+		c.MaxDiskBytes = 1 << 30
+	}
+	return c
+}
+
+// entry is one resident cache line.
+type entry struct {
+	key Key
+	v   []byte
+}
+
+// entryOverhead approximates per-entry bookkeeping (list element, map
+// slot, key string) charged against MaxMemBytes so a flood of tiny
+// entries cannot balloon past the bound.
+const entryOverhead = 256
+
+// flight is a per-key singleflight slot: the first caller computes,
+// everyone else waits on done and shares v/err.
+type flight struct {
+	done chan struct{}
+	v    []byte
+	err  error
+}
+
+// Cache is the two-level content-addressed store. Safe for concurrent
+// use; reads and writes never hold the lock across a compute or a
+// disk access.
+type Cache struct {
+	cfg Config
+
+	mu       sync.Mutex
+	entries  map[string]*list.Element // canonical key -> element
+	lru      *list.List               // front = most recently used
+	memBytes int64
+	inflight map[string]*flight
+
+	hits       atomic.Int64 // served without computing (memory, disk, or coalesced)
+	misses     atomic.Int64 // a compute was started
+	puts       atomic.Int64 // a computed result was installed
+	evictions  atomic.Int64 // memory LRU evictions
+	coalesced  atomic.Int64 // hits that piggybacked on an in-flight compute
+	diskHits   atomic.Int64 // hits satisfied from the disk layer
+	diskErrors atomic.Int64 // unreadable/mismatched disk entries (treated as misses)
+}
+
+// New builds a cache. If cfg.Dir is set, the directory is created; an
+// unusable directory is an error rather than a silent fallback to
+// memory-only, so an operator never believes results persist when
+// they do not.
+func New(cfg Config) (*Cache, error) {
+	c := &Cache{
+		cfg:      cfg.withDefaults(),
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*flight),
+	}
+	if err := c.diskInit(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Get returns the cached bytes for k, consulting memory then disk. A
+// disk hit is promoted into the memory LRU. The returned slice is
+// shared and must not be modified.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	if v, ok := c.memGet(k); ok {
+		c.hits.Add(1)
+		return v, true
+	}
+	if v, ok := c.diskLoad(k); ok {
+		c.memInstall(k, v)
+		c.hits.Add(1)
+		c.diskHits.Add(1)
+		return v, true
+	}
+	return nil, false
+}
+
+// Put installs v under k in both layers. Callers hand over ownership
+// of v.
+func (c *Cache) Put(k Key, v []byte) {
+	c.memInstall(k, v)
+	c.diskStore(k, v)
+	c.puts.Add(1)
+}
+
+// GetOrCompute returns the bytes for k, running compute at most once
+// across all concurrent callers of the same key (singleflight). hit
+// reports whether the caller was served without a compute of its own
+// — from memory, disk, or by coalescing onto another caller's
+// in-flight compute. A failed compute is never cached: its error
+// propagates to the computing caller, and coalesced waiters retry
+// (typically becoming the next computer) so one canceled request
+// cannot poison an identical healthy one.
+func (c *Cache) GetOrCompute(ctx context.Context, k Key, compute func(ctx context.Context) ([]byte, error)) (v []byte, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[k.canonical]; ok {
+			e := el.Value.(*entry)
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return e.v, true, nil
+		}
+		if f, ok := c.inflight[k.canonical]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if f.err != nil {
+				// The computer failed (canceled, live-locked...). Its
+				// error is its own; go around again and recompute.
+				continue
+			}
+			c.hits.Add(1)
+			c.coalesced.Add(1)
+			return f.v, true, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[k.canonical] = f
+		c.mu.Unlock()
+
+		v, hit, err = c.fill(ctx, k, compute)
+		f.v, f.err = v, err
+		c.mu.Lock()
+		delete(c.inflight, k.canonical)
+		c.mu.Unlock()
+		close(f.done)
+		return v, hit, err
+	}
+}
+
+// fill resolves a freshly-claimed flight: disk first, then compute.
+func (c *Cache) fill(ctx context.Context, k Key, compute func(ctx context.Context) ([]byte, error)) ([]byte, bool, error) {
+	if v, ok := c.diskLoad(k); ok {
+		c.memInstall(k, v)
+		c.hits.Add(1)
+		c.diskHits.Add(1)
+		return v, true, nil
+	}
+	c.misses.Add(1)
+	v, err := compute(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	c.Put(k, v)
+	return v, false, nil
+}
+
+// memGet looks k up in the LRU, marking it most recently used.
+func (c *Cache) memGet(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k.canonical]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry).v, true
+}
+
+// memInstall inserts k into the LRU and evicts from the cold end
+// until the byte bound holds again (always keeping the newcomer).
+func (c *Cache) memInstall(k Key, v []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k.canonical]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&entry{key: k, v: v})
+	c.entries[k.canonical] = el
+	c.memBytes += int64(len(v)) + entryOverhead
+	for c.memBytes > c.cfg.MaxMemBytes && c.lru.Len() > 1 {
+		cold := c.lru.Back()
+		ce := cold.Value.(*entry)
+		c.lru.Remove(cold)
+		delete(c.entries, ce.key.canonical)
+		c.memBytes -= int64(len(ce.v)) + entryOverhead
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of resident in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// MemBytes returns the charged in-memory footprint.
+func (c *Cache) MemBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memBytes
+}
+
+// Counter accessors, exported for service gauges and tests.
+
+func (c *Cache) Hits() int64       { return c.hits.Load() }
+func (c *Cache) Misses() int64     { return c.misses.Load() }
+func (c *Cache) Puts() int64       { return c.puts.Load() }
+func (c *Cache) Evictions() int64  { return c.evictions.Load() }
+func (c *Cache) Coalesced() int64  { return c.coalesced.Load() }
+func (c *Cache) DiskHits() int64   { return c.diskHits.Load() }
+func (c *Cache) DiskErrors() int64 { return c.diskErrors.Load() }

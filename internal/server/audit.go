@@ -1,0 +1,92 @@
+package server
+
+import (
+	"log"
+
+	"zbp/internal/equiv"
+	"zbp/internal/rcache"
+)
+
+// Background cache auditor: the equiv harness doubled as a
+// cache-poisoning detector. Every AuditEvery'th cache hit is handed
+// to a single background goroutine that recomputes the cell from
+// scratch (equiv.Audit) and byte-compares the canonical stats JSON
+// against what the cache served. Divergence — a poisoned disk entry,
+// a stale-schema payload, bit rot — lands in
+// zbpd_cache_audit_failures_total and the server log; it is the
+// integrity check the cache's deliberately unchecksummed disk format
+// relies on.
+
+// auditTask carries one sampled cache hit to the audit loop.
+type auditTask struct {
+	key   rcache.Key
+	cell  equiv.AuditCell
+	stats []byte
+}
+
+// maybeAudit samples cache hits into the audit queue. The send is
+// non-blocking: auditing is a watchdog, not a gate, so when the
+// auditor is saturated the sample is dropped (and counted) rather
+// than stalling the serving path.
+func (s *Server) maybeAudit(key rcache.Key, cell rcache.CellSpec, stats []byte) {
+	if s.auditCh == nil {
+		return
+	}
+	n := s.auditHits.Add(1)
+	if n%int64(s.cfg.AuditEvery) != 0 {
+		return
+	}
+	t := auditTask{
+		key: key,
+		cell: equiv.AuditCell{
+			Config:       cell.Config,
+			Workload:     cell.Workload,
+			Workload2:    cell.Workload2,
+			Seed:         cell.Seed,
+			Instructions: cell.Instructions,
+		},
+		stats: stats,
+	}
+	select {
+	case s.auditCh <- t:
+	default:
+		s.auditDropped.Add(1)
+	}
+}
+
+// auditLoop drains sampled hits until the server's base context dies.
+// One goroutine, deliberately: audits are full recomputations, and a
+// single lane bounds how much simulation capacity verification can
+// steal from real traffic.
+func (s *Server) auditLoop() {
+	defer s.asyncWG.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case t := <-s.auditCh:
+			s.runAudit(t)
+		}
+	}
+}
+
+// runAudit recomputes one sampled hit and records the verdict.
+func (s *Server) runAudit(t auditTask) {
+	s.audits.Add(1)
+	findings, err := equiv.Audit(s.baseCtx, t.cell, t.stats)
+	switch {
+	case err != nil:
+		if s.baseCtx.Err() != nil {
+			// Shutdown interrupted the recompute; not an audit error.
+			s.audits.Add(-1)
+			return
+		}
+		s.auditErrors.Add(1)
+		log.Printf("cache audit error: cell %s key %s: %v", t.cell.Name(), t.key.Hash(), err)
+	case len(findings) > 0:
+		s.auditFailures.Add(int64(len(findings)))
+		for _, f := range findings {
+			log.Printf("CACHE AUDIT FAILURE: key %s: %s: %s", t.key.Hash(), f.Cell, f.Detail)
+		}
+	}
+}

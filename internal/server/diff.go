@@ -53,12 +53,10 @@ type DiffResponse struct {
 	Divergences int        `json:"divergences"`
 }
 
-func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	var req DiffRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
+// normalizeDiff applies diff defaults in place and validates,
+// returning the resolved seed and the grid size. Shared by the sync
+// handler and async job submission.
+func (s *Server) normalizeDiff(req *DiffRequest) (uint64, int, error) {
 	if len(req.Configs) == 0 {
 		req.Configs = []string{"z15"}
 	}
@@ -70,29 +68,22 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		req.Instructions = s.cfg.DefaultInstructions
 	}
 	if req.Instructions < 0 || req.Instructions > s.cfg.MaxInstructions {
-		s.fail(w, http.StatusBadRequest,
-			fmt.Errorf("instructions %d out of range [1, %d]", req.Instructions, s.cfg.MaxInstructions))
-		return
+		return 0, 0, fmt.Errorf("instructions %d out of range [1, %d]", req.Instructions, s.cfg.MaxInstructions)
 	}
 	cells := len(req.Configs) * len(req.Workloads)
 	if cells == 0 {
-		s.fail(w, http.StatusBadRequest, errors.New("empty diff grid: need workloads"))
-		return
+		return 0, 0, errors.New("empty diff grid: need workloads")
 	}
 	if cells > s.cfg.MaxSweepCells {
-		s.fail(w, http.StatusBadRequest,
-			fmt.Errorf("diff grid has %d cells, limit %d", cells, s.cfg.MaxSweepCells))
-		return
+		return 0, 0, fmt.Errorf("diff grid has %d cells, limit %d", cells, s.cfg.MaxSweepCells)
 	}
 	for _, name := range req.Configs {
 		if _, err := core.ByName(name); err != nil {
-			s.fail(w, http.StatusBadRequest, err)
-			return
+			return 0, 0, err
 		}
 	}
 	if err := s.validateWorkloads(req.Workloads...); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
+		return 0, 0, err
 	}
 	known := map[string]bool{}
 	for _, n := range equiv.CheckNames() {
@@ -100,10 +91,22 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, n := range req.Checks {
 		if !known[n] {
-			s.fail(w, http.StatusBadRequest,
-				fmt.Errorf("unknown check %q (have %v)", n, equiv.CheckNames()))
-			return
+			return 0, 0, fmt.Errorf("unknown check %q (have %v)", n, equiv.CheckNames())
 		}
+	}
+	return seed, cells, nil
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req DiffRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	seed, _, err := s.normalizeDiff(&req)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
 	}
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
@@ -129,21 +132,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 
 	resp := DiffResponse{Cells: make([]DiffCell, len(results))}
 	for i, cr := range results {
-		cell := DiffCell{
-			Config:   cr.Cell.Config,
-			Workload: cr.Cell.Workload,
-			Seed:     cr.Cell.Seed,
-			Checks:   len(cr.Checks),
-			OK:       cr.OK(),
-		}
-		if cr.Err != nil {
-			cell.Error = cr.Err.Error()
-		}
-		for _, f := range cr.Findings() {
-			cell.Findings = append(cell.Findings, DiffFinding{
-				Check: f.Check, Metric: f.Metric, Detail: f.Detail,
-			})
-		}
+		cell := diffCellOf(cr)
 		if !cell.OK {
 			resp.Divergences++
 			s.diffDivergences.Add(1)
@@ -152,4 +141,25 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	}
 	s.completed.Add(1)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// diffCellOf converts one harness cell result to the API shape
+// (shared by the sync handler and the async diff job).
+func diffCellOf(cr equiv.CellResult) DiffCell {
+	cell := DiffCell{
+		Config:   cr.Cell.Config,
+		Workload: cr.Cell.Workload,
+		Seed:     cr.Cell.Seed,
+		Checks:   len(cr.Checks),
+		OK:       cr.OK(),
+	}
+	if cr.Err != nil {
+		cell.Error = cr.Err.Error()
+	}
+	for _, f := range cr.Findings() {
+		cell.Findings = append(cell.Findings, DiffFinding{
+			Check: f.Check, Metric: f.Metric, Detail: f.Detail,
+		})
+	}
+	return cell
 }

@@ -125,7 +125,10 @@ func TestSweepErrorsFieldCleanGrid(t *testing.T) {
 // scales with the smoothed task duration and queue depth, and the
 // clamp keeps pathological estimates in [1, 60].
 func TestRetryAfterDerivation(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	if got := s.retryAfterSeconds(); got != 1 {
 		t.Errorf("no samples: Retry-After %d, want 1", got)

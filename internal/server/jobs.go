@@ -1,0 +1,531 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"zbp/internal/equiv"
+	"zbp/internal/jobs"
+	"zbp/internal/metrics"
+	"zbp/internal/rcache"
+)
+
+// Async job API. A job is a simulate/sweep/diff request that runs
+// outside the submitting HTTP request: submission validates and
+// answers immediately with a job ID, a runner goroutine takes one
+// bounded-queue slot (the same backpressure sync requests obey), and
+// clients poll GET /v1/jobs/{id} or follow the JSONL event stream.
+//
+// Simulate and sweep cells route through the content-addressed result
+// cache: the cell spec is hashed (rcache.NewKey) and previously
+// computed cells are served without executing a single simulated
+// cycle. Diff jobs never cache — the harness's whole point is to
+// recompute.
+
+// JobRequest is the POST /v1/jobs body: a kind plus exactly one
+// matching payload. Kind may be omitted when exactly one payload is
+// set.
+type JobRequest struct {
+	Kind     string           `json:"kind,omitempty"` // "simulate", "sweep", "diff"
+	Simulate *SimulateRequest `json:"simulate,omitempty"`
+	Sweep    *SweepRequest    `json:"sweep,omitempty"`
+	Diff     *DiffRequest     `json:"diff,omitempty"`
+	// TimeoutMs bounds the job's execution wall time (clamped to the
+	// server's MaxTimeout, which is also the default). The payloads'
+	// own timeout_ms fields are ignored for jobs: the job deadline is
+	// the only one.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// NoCache forces recomputation and skips the result cache on both
+	// read and write — the escape hatch for benchmarking and for
+	// distrust.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// jobSpec is the validated, default-filled execution plan attached to
+// a job at submission.
+type jobSpec struct {
+	kind     string
+	simulate SimulateRequest
+	sweep    SweepRequest
+	diff     DiffRequest
+	seed     uint64 // resolved seed for simulate/diff kinds
+	noCache  bool
+}
+
+// cellEvent is the JSONL progress line published after every finished
+// simulate/sweep cell.
+type cellEvent struct {
+	Type      string `json:"type"` // "cell"
+	Index     int    `json:"index"`
+	Done      int    `json:"done"`
+	Total     int    `json:"total"`
+	Config    string `json:"config"`
+	Workload  string `json:"workload"`
+	Workload2 string `json:"workload2,omitempty"`
+	Seed      uint64 `json:"seed"`
+	// Cached marks a cell served from the result cache (zero simulated
+	// cycles).
+	Cached       bool    `json:"cached"`
+	Instructions int64   `json:"instructions,omitempty"`
+	Cycles       int64   `json:"cycles,omitempty"`
+	MPKI         float64 `json:"mpki"`
+	IPC          float64 `json:"ipc"`
+	Accuracy     float64 `json:"accuracy"`
+	Error        string  `json:"error,omitempty"`
+	// RunSecondsEWMA is the server's smoothed per-task duration at
+	// publish time, so a streaming client can project the remaining
+	// wall time of the sweep.
+	RunSecondsEWMA float64 `json:"run_seconds_ewma"`
+}
+
+// diffCellEvent is the JSONL progress line for diff-job cells.
+type diffCellEvent struct {
+	Type     string `json:"type"` // "diff_cell"
+	Index    int    `json:"index"`
+	Done     int    `json:"done"`
+	Total    int    `json:"total"`
+	Config   string `json:"config"`
+	Workload string `json:"workload"`
+	Seed     uint64 `json:"seed"`
+	Checks   int    `json:"checks"`
+	OK       bool   `json:"ok"`
+	Findings int    `json:"findings"`
+	Error    string `json:"error,omitempty"`
+}
+
+// --- handlers ---------------------------------------------------------
+
+func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.baseCtx.Err() != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
+		return
+	}
+	var req JobRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	spec, cells, err := s.planJob(&req)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.jobs.Create(spec.kind, cells)
+	if err != nil {
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "job table full, retry later"})
+		return
+	}
+	s.jobsSubmitted.Add(1)
+
+	timeout := s.cfg.MaxTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	j.SetCancel(cancel)
+	s.asyncWG.Add(1)
+	go s.runJob(ctx, cancel, j, spec)
+
+	w.Header().Set("Location", "/v1/jobs/"+j.ID())
+	writeJSON(w, http.StatusCreated, j.Snapshot())
+}
+
+// planJob validates the request into an executable spec, reusing the
+// same normalization the sync endpoints apply.
+func (s *Server) planJob(req *JobRequest) (jobSpec, int, error) {
+	set := 0
+	if req.Simulate != nil {
+		set++
+	}
+	if req.Sweep != nil {
+		set++
+	}
+	if req.Diff != nil {
+		set++
+	}
+	if set != 1 {
+		return jobSpec{}, 0, fmt.Errorf("need exactly one of simulate/sweep/diff payloads, have %d", set)
+	}
+	spec := jobSpec{noCache: req.NoCache}
+	switch {
+	case req.Simulate != nil:
+		if req.Kind != "" && req.Kind != "simulate" {
+			return jobSpec{}, 0, fmt.Errorf("kind %q does not match the simulate payload", req.Kind)
+		}
+		seed, err := s.normalizeSimulate(req.Simulate)
+		if err != nil {
+			return jobSpec{}, 0, err
+		}
+		spec.kind, spec.simulate, spec.seed = "simulate", *req.Simulate, seed
+		return spec, 1, nil
+	case req.Sweep != nil:
+		if req.Kind != "" && req.Kind != "sweep" {
+			return jobSpec{}, 0, fmt.Errorf("kind %q does not match the sweep payload", req.Kind)
+		}
+		cells, err := s.normalizeSweep(req.Sweep)
+		if err != nil {
+			return jobSpec{}, 0, err
+		}
+		spec.kind, spec.sweep = "sweep", *req.Sweep
+		return spec, cells, nil
+	default:
+		if req.Kind != "" && req.Kind != "diff" {
+			return jobSpec{}, 0, fmt.Errorf("kind %q does not match the diff payload", req.Kind)
+		}
+		seed, cells, err := s.normalizeDiff(req.Diff)
+		if err != nil {
+			return jobSpec{}, 0, err
+		}
+		spec.kind, spec.diff, spec.seed = "diff", *req.Diff, seed
+		return spec, cells, nil
+	}
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such job (unknown ID or evicted after TTL)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such job (unknown ID or evicted after TTL)"})
+		return
+	}
+	// Cancel fires the job's context cancel with no locks held; the
+	// runner observes it cooperatively (sim.RunCtx polls) and the
+	// job transitions to canceled asynchronously.
+	j.Cancel(s.cfg.now(), "canceled by client")
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+// handleJobEvents streams the job's event history and then live
+// events as JSONL until the job reaches a terminal state or the
+// client disconnects.
+//
+// Locking contract (the deadlock-regression suite pins this): the
+// handler never writes to the connection while holding any job or
+// store lock. It pulls batches with EventsSince (a short critical
+// section that copies slice headers), writes them lock-free, and
+// parks on a capacity-1 notification channel that publishers signal
+// without blocking. A reader that stalls mid-write therefore stalls
+// only itself — publishers, cancellation, and the job table never
+// wait on it.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such job (unknown ID or evicted after TTL)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	ch := j.Subscribe()
+	defer j.Unsubscribe(ch)
+	cursor := 0
+	for {
+		lines, terminal := j.EventsSince(cursor)
+		cursor += len(lines)
+		for _, line := range lines {
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte("\n")); err != nil {
+				return
+			}
+		}
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			// Finish appends the done event before flipping the state
+			// (one critical section), so a terminal read has already
+			// handed us the last line.
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// --- execution --------------------------------------------------------
+
+// runJob drives one job through the bounded queue. The job table is
+// the admission control for async work, so a momentarily full queue
+// is waited out with a short backoff rather than surfaced as 429 —
+// the client already holds a job ID.
+func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *jobs.Job, spec jobSpec) {
+	defer s.asyncWG.Done()
+	defer cancel()
+	for {
+		err := s.enqueue(ctx, func(ctx context.Context) { s.executeJob(ctx, j, spec) })
+		switch {
+		case err == nil:
+			// Ran, or was skipped because ctx died while queued; in the
+			// skip case executeJob never got to finish the job.
+			s.finishJob(j, ctx.Err())
+			return
+		case errors.Is(err, errQueueFull):
+			select {
+			case <-ctx.Done():
+				s.finishJob(j, ctx.Err())
+				return
+			case <-time.After(25 * time.Millisecond):
+			}
+		default: // shutting down
+			s.finishJob(j, errShuttingDown)
+			return
+		}
+	}
+}
+
+// finishJob closes out a job that did not finish itself (skipped
+// while queued, canceled, refused by a closing queue). A no-op when
+// executeJob already reached a terminal state.
+func (s *Server) finishJob(j *jobs.Job, err error) {
+	switch {
+	case err == nil:
+		j.Finish(s.cfg.now(), jobs.Failed, "job runner exited without a result", nil)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		j.Finish(s.cfg.now(), jobs.Canceled, err.Error(), nil)
+	case errors.Is(err, errShuttingDown):
+		j.Finish(s.cfg.now(), jobs.Canceled, "server shutting down", nil)
+	default:
+		j.Finish(s.cfg.now(), jobs.Failed, err.Error(), nil)
+	}
+}
+
+// executeJob runs inside the job's queue slot.
+func (s *Server) executeJob(ctx context.Context, j *jobs.Job, spec jobSpec) {
+	if !j.Start(s.cfg.now()) {
+		return
+	}
+	var (
+		result []byte
+		err    error
+	)
+	switch spec.kind {
+	case "simulate":
+		result, err = s.runSimulateJob(ctx, j, spec)
+	case "sweep":
+		result, err = s.runSweepJob(ctx, j, spec)
+	case "diff":
+		result, err = s.runDiffJob(ctx, j, spec)
+	default:
+		err = fmt.Errorf("unknown job kind %q", spec.kind)
+	}
+	if err != nil {
+		s.finishJob(j, err)
+		return
+	}
+	j.Finish(s.cfg.now(), jobs.Done, "", result)
+}
+
+func (s *Server) runSimulateJob(ctx context.Context, j *jobs.Job, spec jobSpec) ([]byte, error) {
+	req := spec.simulate
+	cell := rcache.CellSpec{
+		Config: req.Config, Workload: req.Workload, Workload2: req.Workload2,
+		Seed: spec.seed, Instructions: req.Instructions,
+	}
+	stats, cached, err := s.cachedCell(ctx, cell, spec.noCache)
+	if err != nil {
+		return nil, err
+	}
+	j.CellDone(cached)
+	snap, sum, err := summarize(cell, stats)
+	if err != nil {
+		return nil, err
+	}
+	s.publishCell(j, 0, 1, cell, cached, sum, "")
+	resp := SimulateResponse{
+		Config:       req.Config,
+		Workload:     req.Workload,
+		Workload2:    req.Workload2,
+		Seed:         spec.seed,
+		Instructions: sum.Instructions,
+		Branches:     sum.Branches,
+		Cycles:       sum.Cycles,
+		MPKI:         sum.MPKI,
+		IPC:          sum.IPC,
+		Accuracy:     sum.Accuracy,
+	}
+	if req.FullStats {
+		resp.Stats = snap
+	}
+	return json.Marshal(resp)
+}
+
+func (s *Server) runSweepJob(ctx context.Context, j *jobs.Job, spec jobSpec) ([]byte, error) {
+	req := spec.sweep
+	total := len(req.Configs) * len(req.Workloads) * len(req.Seeds)
+	resp := SweepResponse{Cells: make([]SweepCell, 0, total)}
+	i := 0
+	for _, cfgName := range req.Configs {
+		for _, wl := range req.Workloads {
+			for _, seed := range req.Seeds {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				cell := rcache.CellSpec{
+					Config: cfgName, Workload: wl, Seed: seed, Instructions: req.Instructions,
+				}
+				row := SweepCell{Config: cfgName, Workload: wl, Seed: seed}
+				stats, cached, err := s.cachedCell(ctx, cell, spec.noCache)
+				switch {
+				case err != nil && ctx.Err() != nil:
+					// Cancellation, not a cell failure: stop the sweep.
+					return nil, ctx.Err()
+				case err != nil:
+					row.Error = err.Error()
+					resp.Errors++
+					s.sweepCellErrors.Add(1)
+					s.publishCell(j, i, total, cell, false, cellSummary{}, row.Error)
+				default:
+					_, sum, serr := summarize(cell, stats)
+					if serr != nil {
+						return nil, serr
+					}
+					row.Instructions = sum.Instructions
+					row.Cycles = sum.Cycles
+					row.MPKI = sum.MPKI
+					row.IPC = sum.IPC
+					row.Accuracy = sum.Accuracy
+					j.CellDone(cached)
+					s.publishCell(j, i, total, cell, cached, sum, "")
+				}
+				resp.Cells = append(resp.Cells, row)
+				i++
+			}
+		}
+	}
+	return json.Marshal(resp)
+}
+
+func (s *Server) runDiffJob(ctx context.Context, j *jobs.Job, spec jobSpec) ([]byte, error) {
+	req := spec.diff
+	grid := equiv.Grid(req.Configs, req.Workloads, spec.seed, req.Instructions)
+	opts := equiv.Options{Checks: req.Checks, Perturb: req.Perturb}
+	resp := DiffResponse{Cells: make([]DiffCell, 0, len(grid))}
+	for i, cell := range grid {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cr := equiv.CheckCell(ctx, cell, opts)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		dc := diffCellOf(cr)
+		if !dc.OK {
+			resp.Divergences++
+			s.diffDivergences.Add(1)
+		}
+		resp.Cells = append(resp.Cells, dc)
+		j.CellDone(false)
+		j.Publish(diffCellEvent{
+			Type: "diff_cell", Index: i, Done: i + 1, Total: len(grid),
+			Config: dc.Config, Workload: dc.Workload, Seed: dc.Seed,
+			Checks: dc.Checks, OK: dc.OK, Findings: len(dc.Findings), Error: dc.Error,
+		})
+	}
+	return json.Marshal(resp)
+}
+
+// publishCell emits one cell progress event.
+func (s *Server) publishCell(j *jobs.Job, i, total int, cell rcache.CellSpec, cached bool, sum cellSummary, errMsg string) {
+	j.Publish(cellEvent{
+		Type: "cell", Index: i, Done: i + 1, Total: total,
+		Config: cell.Config, Workload: cell.Workload, Workload2: cell.Workload2,
+		Seed: cell.Seed, Cached: cached,
+		Instructions: sum.Instructions, Cycles: sum.Cycles,
+		MPKI: sum.MPKI, IPC: sum.IPC, Accuracy: sum.Accuracy,
+		Error:          errMsg,
+		RunSecondsEWMA: time.Duration(s.runNanosEWMA.Load()).Seconds(),
+	})
+}
+
+// cachedCell returns the canonical stats JSON for one cell, serving
+// from the content-addressed cache when possible. cached reports that
+// no simulation ran for this call (memory/disk hit or coalesced onto
+// a concurrent identical compute). Sampled hits are handed to the
+// background equiv auditor.
+func (s *Server) cachedCell(ctx context.Context, cell rcache.CellSpec, noCache bool) ([]byte, bool, error) {
+	compute := func(ctx context.Context) ([]byte, error) {
+		res, err := s.runCellSim(ctx, cell)
+		if err != nil {
+			return nil, err
+		}
+		if res.Truncated {
+			return nil, errors.New("truncated result is not cacheable")
+		}
+		s.instructions.Add(res.Instructions())
+		if res.FastCore {
+			s.fastCoreRuns.Add(1)
+		}
+		return res.StatsJSON()
+	}
+	if noCache {
+		b, err := compute(ctx)
+		return b, false, err
+	}
+	key := rcache.NewKey(cell)
+	v, hit, err := s.cache.GetOrCompute(ctx, key, compute)
+	if err != nil {
+		return nil, false, err
+	}
+	if hit {
+		s.maybeAudit(key, cell, v)
+	}
+	return v, hit, nil
+}
+
+// cellSummary is the headline numbers reconstructed from a cached
+// stats payload — the cache stores only the canonical stats JSON (the
+// byte-exact form the equiv auditor re-derives), so API rows are a
+// pure function of it.
+type cellSummary struct {
+	Instructions int64
+	Branches     int64
+	Cycles       int64
+	MPKI         float64
+	IPC          float64
+	Accuracy     float64
+}
+
+// summarize decodes a stats payload into its snapshot and headline
+// numbers.
+func summarize(cell rcache.CellSpec, stats []byte) (*metrics.Snapshot, cellSummary, error) {
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(stats, &snap); err != nil {
+		return nil, cellSummary{}, fmt.Errorf("cell %v: undecodable stats payload: %w", cell, err)
+	}
+	return &snap, cellSummary{
+		Instructions: int64(snap.Gauges["sim.instructions"]),
+		Branches:     int64(snap.Gauges["sim.branches"]),
+		Cycles:       snap.Counters["sim.cycles"],
+		MPKI:         snap.Gauges["sim.mpki"],
+		IPC:          snap.Gauges["sim.ipc"],
+		Accuracy:     snap.Gauges["sim.accuracy"],
+	}, nil
+}

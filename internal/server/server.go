@@ -7,10 +7,22 @@
 //
 // Endpoints:
 //
-//	POST /v1/simulate  one run: config preset + workload + seed + budget
-//	POST /v1/sweep     a small parameter grid, one result row per cell
-//	GET  /healthz      liveness + queue occupancy
-//	GET  /metrics      live registry in Prometheus text format
+//	POST   /v1/simulate          one run: config preset + workload + seed + budget
+//	POST   /v1/sweep             a small parameter grid, one result row per cell
+//	POST   /v1/jobs              submit an async simulate/sweep/diff job
+//	GET    /v1/jobs/{id}         job status, per-cell progress, result when done
+//	GET    /v1/jobs/{id}/events  JSONL progress stream (live + replayed history)
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /healthz              liveness + queue occupancy
+//	GET    /metrics              live registry in Prometheus text format
+//
+// Async jobs route their cells through a content-addressed result
+// cache (internal/rcache): the simulator is deterministic, so a
+// repeated (config, workload, seed, budget) cell is served from the
+// cache in microseconds with zero simulated cycles. A background
+// auditor recomputes a sampled fraction of cache hits through
+// internal/equiv and reports divergence — poisoned, stale, or
+// corrupted entries — as zbpd_cache_audit_failures_total.
 package server
 
 import (
@@ -21,11 +33,14 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"zbp/internal/core"
+	"zbp/internal/jobs"
 	"zbp/internal/metrics"
+	"zbp/internal/rcache"
 	"zbp/internal/runner"
 	"zbp/internal/sim"
 	"zbp/internal/trace"
@@ -61,8 +76,37 @@ type Config struct {
 	// DefaultTimeout bounds a request's simulation time when the
 	// request does not set timeout_ms. Default: 60s.
 	DefaultTimeout time.Duration
-	// MaxTimeout clamps request-supplied timeouts. Default: 5m.
+	// MaxTimeout clamps request-supplied timeouts. It is also the
+	// default (and the clamp) for async job deadlines: jobs exist to
+	// outlive the HTTP timeout, so they get the ceiling, not the
+	// per-request default. Default: 5m.
 	MaxTimeout time.Duration
+
+	// MaxJobs bounds the async job table (queued + running + finished
+	// awaiting TTL eviction); a full table answers submissions 429.
+	// Default: 64.
+	MaxJobs int
+	// JobTTL is how long a finished job stays pollable before the
+	// table evicts it (GET then answers 404). Default: 15m.
+	JobTTL time.Duration
+
+	// CacheMemBytes bounds the in-memory layer of the result cache.
+	// Default: 256 MiB.
+	CacheMemBytes int64
+	// CacheDir, when set, persists cache entries on disk (atomic
+	// write-then-rename; entries survive restarts).
+	CacheDir string
+	// CacheDiskBytes bounds the on-disk layer. Default: 1 GiB.
+	CacheDiskBytes int64
+	// AuditEvery samples every Nth cache hit for background
+	// recomputation through internal/equiv (the cache-poisoning
+	// detector). 0 means the default of 16; negative disables
+	// auditing. Default: 16.
+	AuditEvery int
+
+	// now supplies the clock for the job table; tests swap in a fake
+	// to drive TTL eviction deterministically.
+	now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -90,17 +134,46 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
 	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 64
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 15 * time.Minute
+	}
+	if c.CacheMemBytes <= 0 {
+		c.CacheMemBytes = 256 << 20
+	}
+	if c.CacheDiskBytes <= 0 {
+		c.CacheDiskBytes = 1 << 30
+	}
+	if c.AuditEvery == 0 {
+		c.AuditEvery = 16
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
 	return c
 }
 
 // Server is the zbpd service state: the bounded queue, the shared
-// workload cache, and the live metrics registry.
+// workload cache, the async job table with its result cache, and the
+// live metrics registry.
 type Server struct {
-	cfg Config
-	mz  *workload.Materializer
-	q   *queue
-	mux *http.ServeMux
-	reg *metrics.Registry
+	cfg   Config
+	mz    *workload.Materializer
+	q     *queue
+	mux   *http.ServeMux
+	reg   *metrics.Registry
+	jobs  *jobs.Store
+	cache *rcache.Cache
+
+	// baseCtx parents every async job context; Drain/Close cancel it,
+	// which cooperatively stops running jobs and the audit loop.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	// asyncWG tracks job-runner goroutines and the audit loop so
+	// Close can wait for them before draining the queue.
+	asyncWG sync.WaitGroup
 
 	// Live service counters, exported via /metrics. Atomics because
 	// handlers bump them concurrently with registry snapshots.
@@ -123,33 +196,82 @@ type Server struct {
 	// runNanosEWMA tracks a smoothed per-task queue-slot duration (ns),
 	// feeding the Retry-After estimate on 429 responses.
 	runNanosEWMA atomic.Int64
+
+	// Async job counters (terminal-state transitions live in the jobs
+	// store; these are the submission-side tallies).
+	jobsSubmitted atomic.Int64
+
+	// Cache-audit pipeline state; see audit.go.
+	auditHits     atomic.Int64
+	audits        atomic.Int64
+	auditFailures atomic.Int64
+	auditErrors   atomic.Int64
+	auditDropped  atomic.Int64
+	auditCh       chan auditTask
 }
 
-// New builds a server and starts its worker pool. Callers must Close
-// it (after draining the HTTP layer) to stop the workers.
-func New(cfg Config) *Server {
+// New builds a server and starts its worker pool plus the cache-audit
+// loop. Callers must Close it (after draining the HTTP layer) to stop
+// the workers. The only construction failure is an unusable cache
+// directory.
+func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg: cfg.withDefaults(),
 		mz:  workload.NewMaterializer(),
 	}
+	var err error
+	s.cache, err = rcache.New(rcache.Config{
+		MaxMemBytes:  s.cfg.CacheMemBytes,
+		Dir:          s.cfg.CacheDir,
+		MaxDiskBytes: s.cfg.CacheDiskBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.jobs = jobs.NewStore(jobs.Options{
+		MaxJobs: s.cfg.MaxJobs,
+		TTL:     s.cfg.JobTTL,
+		Now:     s.cfg.now,
+	})
 	s.q = newQueue(s.cfg.Workers, s.cfg.QueueDepth)
 	s.reg = s.buildRegistry()
+	if s.cfg.AuditEvery > 0 {
+		s.auditCh = make(chan auditTask, 8)
+		s.asyncWG.Add(1)
+		go s.auditLoop()
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/diff", s.handleDiff)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops accepting queue submissions and waits for every accepted
-// simulation to finish. Call it after http.Server.Shutdown has drained
-// the handlers.
-func (s *Server) Close() { s.q.close() }
+// Drain begins shutdown of the async layer: new job submissions are
+// refused (503) and running jobs cancel cooperatively, which also
+// ends their event streams. Call it before http.Server.Shutdown so
+// long-lived streams do not hold the listener open for the whole
+// grace budget.
+func (s *Server) Drain() { s.baseCancel() }
+
+// Close stops accepting queue submissions and waits for every
+// accepted simulation — sync requests and async jobs — to finish.
+// Call it after http.Server.Shutdown has drained the handlers.
+func (s *Server) Close() {
+	s.baseCancel()
+	s.asyncWG.Wait()
+	s.q.close()
+}
 
 // buildRegistry wires the service gauges. Everything is a snapshot-time
 // gauge over an atomic, so scrapes are race-free against live traffic.
@@ -177,6 +299,31 @@ func (s *Server) buildRegistry() *metrics.Registry {
 	reg.Gauge("zbpd.workers", func() float64 { return float64(s.cfg.Workers) })
 	reg.Gauge("zbpd.mat_traces", func() float64 { return float64(s.mz.Count()) })
 	reg.Gauge("zbpd.mat_bytes", func() float64 { return float64(s.mz.FootprintBytes()) })
+
+	// Async job table.
+	gauge("zbpd.jobs_submitted_total", &s.jobsSubmitted)
+	fn := func(name string, f func() float64) { reg.Gauge(name, f) }
+	fn("zbpd.jobs_active", func() float64 { return float64(s.jobs.Active()) })
+	fn("zbpd.jobs_table", func() float64 { return float64(s.jobs.Len()) })
+	fn("zbpd.jobs_done_total", func() float64 { return float64(s.jobs.DoneCount()) })
+	fn("zbpd.jobs_failed_total", func() float64 { return float64(s.jobs.FailedCount()) })
+	fn("zbpd.jobs_canceled_total", func() float64 { return float64(s.jobs.CanceledCount()) })
+	fn("zbpd.jobs_evicted_total", func() float64 { return float64(s.jobs.Evicted()) })
+
+	// Content-addressed result cache + its equiv-backed auditor.
+	fn("zbpd.cache_hits_total", func() float64 { return float64(s.cache.Hits()) })
+	fn("zbpd.cache_misses_total", func() float64 { return float64(s.cache.Misses()) })
+	fn("zbpd.cache_puts_total", func() float64 { return float64(s.cache.Puts()) })
+	fn("zbpd.cache_evictions_total", func() float64 { return float64(s.cache.Evictions()) })
+	fn("zbpd.cache_coalesced_total", func() float64 { return float64(s.cache.Coalesced()) })
+	fn("zbpd.cache_disk_hits_total", func() float64 { return float64(s.cache.DiskHits()) })
+	fn("zbpd.cache_disk_errors_total", func() float64 { return float64(s.cache.DiskErrors()) })
+	fn("zbpd.cache_entries", func() float64 { return float64(s.cache.Len()) })
+	fn("zbpd.cache_bytes", func() float64 { return float64(s.cache.MemBytes()) })
+	gauge("zbpd.cache_audits_total", &s.audits)
+	gauge("zbpd.cache_audit_failures_total", &s.auditFailures)
+	gauge("zbpd.cache_audit_errors_total", &s.auditErrors)
+	gauge("zbpd.cache_audit_dropped_total", &s.auditDropped)
 	return reg
 }
 
@@ -260,12 +407,11 @@ type errorResponse struct {
 
 // --- handlers ---------------------------------------------------------
 
-func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	var req SimulateRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
+// normalizeSimulate applies request defaults in place and validates
+// against the server's limits, returning the resolved seed. Shared by
+// the synchronous handler and async job submission, so both paths
+// accept exactly the same requests.
+func (s *Server) normalizeSimulate(req *SimulateRequest) (uint64, error) {
 	if req.Config == "" {
 		req.Config = "z15"
 	}
@@ -276,30 +422,43 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if req.Instructions == 0 {
 		req.Instructions = s.cfg.DefaultInstructions
 	}
-	gen, err := core.ByName(req.Config)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
+	if _, err := core.ByName(req.Config); err != nil {
+		return 0, err
 	}
 	if err := s.validateWorkloads(req.Workload, req.Workload2); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
+		return 0, err
 	}
 	if req.Instructions < 0 || req.Instructions > s.cfg.MaxInstructions {
-		s.fail(w, http.StatusBadRequest,
-			fmt.Errorf("instructions %d out of range [1, %d]", req.Instructions, s.cfg.MaxInstructions))
+		return 0, fmt.Errorf("instructions %d out of range [1, %d]", req.Instructions, s.cfg.MaxInstructions)
+	}
+	return seed, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req SimulateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	seed, err := s.normalizeSimulate(&req)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 
+	spec := rcache.CellSpec{
+		Config: req.Config, Workload: req.Workload, Workload2: req.Workload2,
+		Seed: seed, Instructions: req.Instructions,
+	}
 	var (
 		res    sim.Result
 		runErr error
 	)
 	submitErr := s.enqueue(ctx, func(ctx context.Context) {
-		res, runErr = s.runSimulate(ctx, sim.ForGeneration(gen), req, seed)
+		res, runErr = s.runCellSim(ctx, spec)
 	})
 	if s.replyQueueError(w, submitErr) {
 		return
@@ -338,32 +497,36 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// runSimulate materializes the workload(s) through the shared cache
-// and runs one cancellable simulation.
-func (s *Server) runSimulate(ctx context.Context, cfg sim.Config, req SimulateRequest, seed uint64) (sim.Result, error) {
-	p, err := s.mz.Get(req.Workload, seed, req.Instructions)
+// runCellSim materializes the cell's workload(s) through the shared
+// trace cache and runs one cancellable simulation. This is the single
+// compute path under the sync handlers, the async jobs, and the
+// result cache's misses. By convention Workload2 runs at Seed+1.
+func (s *Server) runCellSim(ctx context.Context, spec rcache.CellSpec) (sim.Result, error) {
+	gen, err := core.ByName(spec.Config)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	p, err := s.mz.Get(spec.Workload, spec.Seed, spec.Instructions)
 	if err != nil {
 		return sim.Result{}, err
 	}
 	cur := p.Cursor()
 	srcs := []trace.Source{&cur}
-	if req.Workload2 != "" {
-		p2, err := s.mz.Get(req.Workload2, seed+1, req.Instructions)
+	if spec.Workload2 != "" {
+		p2, err := s.mz.Get(spec.Workload2, spec.Seed+1, spec.Instructions)
 		if err != nil {
 			return sim.Result{}, err
 		}
 		cur2 := p2.Cursor()
 		srcs = append(srcs, &cur2)
 	}
-	return sim.New(cfg, srcs).RunCtx(ctx, 0)
+	return sim.New(sim.ForGeneration(gen), srcs).RunCtx(ctx, 0)
 }
 
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	var req SweepRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
+// normalizeSweep applies sweep defaults in place and validates,
+// returning the grid size. Shared by the sync handler and async job
+// submission.
+func (s *Server) normalizeSweep(req *SweepRequest) (int, error) {
 	if len(req.Configs) == 0 {
 		req.Configs = []string{"z15"}
 	}
@@ -374,31 +537,40 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		req.Instructions = s.cfg.DefaultInstructions
 	}
 	if req.Instructions < 0 || req.Instructions > s.cfg.MaxInstructions {
-		s.fail(w, http.StatusBadRequest,
-			fmt.Errorf("instructions %d out of range [1, %d]", req.Instructions, s.cfg.MaxInstructions))
-		return
+		return 0, fmt.Errorf("instructions %d out of range [1, %d]", req.Instructions, s.cfg.MaxInstructions)
 	}
 	cells := len(req.Configs) * len(req.Workloads) * len(req.Seeds)
 	if cells == 0 {
-		s.fail(w, http.StatusBadRequest, errors.New("empty sweep grid: need workloads"))
-		return
+		return 0, errors.New("empty sweep grid: need workloads")
 	}
 	if cells > s.cfg.MaxSweepCells {
-		s.fail(w, http.StatusBadRequest,
-			fmt.Errorf("sweep grid has %d cells, limit %d", cells, s.cfg.MaxSweepCells))
-		return
+		return 0, fmt.Errorf("sweep grid has %d cells, limit %d", cells, s.cfg.MaxSweepCells)
 	}
 	if err := s.validateWorkloads(req.Workloads...); err != nil {
+		return 0, err
+	}
+	for _, name := range req.Configs {
+		if _, err := core.ByName(name); err != nil {
+			return 0, err
+		}
+	}
+	return cells, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req SweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cells, err := s.normalizeSweep(&req)
+	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
 	cfgs := make([]sim.Config, len(req.Configs))
 	for i, name := range req.Configs {
-		gen, err := core.ByName(name)
-		if err != nil {
-			s.fail(w, http.StatusBadRequest, err)
-			return
-		}
+		gen, _ := core.ByName(name) // validated above
 		cfgs[i] = sim.ForGeneration(gen)
 	}
 

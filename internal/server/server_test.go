@@ -24,7 +24,10 @@ import (
 // (listener first, then workers).
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -245,7 +248,10 @@ func TestQueueFull429(t *testing.T) {
 // TestGracefulShutdownDrains: a request in flight when shutdown begins
 // completes with a full 200 result; the queue refuses work afterwards.
 func TestGracefulShutdownDrains(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 
 	started := make(chan struct{})
