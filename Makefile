@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench bench-smoke bench-allocs bench-nsinstr bench-json exp race cover fuzz golden serve serve-smoke jobs-smoke diff-smoke staticcheck
+.PHONY: all build test vet bench bench-smoke bench-allocs bench-nsinstr bench-json exp race cover fuzz golden serve serve-smoke jobs-smoke diff-smoke cluster-smoke staticcheck
 
 all: build vet test
 
@@ -37,7 +37,7 @@ bench-nsinstr:
 
 # Regenerate the machine-readable benchmark trajectory document for
 # this PR (override PR= to change the filename suffix).
-PR ?= 7
+PR ?= 8
 bench-json:
 	go run ./cmd/zbench -out BENCH_$(PR).json
 
@@ -77,6 +77,12 @@ serve-smoke:
 # nothing, then SIGTERM with a job running. Wired into CI.
 jobs-smoke:
 	sh scripts/jobs_smoke.sh
+
+# Cluster mode smoke: coordinator + 2 backends, the same sweep twice;
+# the repeat must be >=90% served from backend caches via rendezvous
+# routing, and the whole fleet must drain on SIGTERM. Wired into CI.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 # Static analysis beyond go vet; staticcheck is installed on demand in
 # CI (go run pins the version without touching go.mod).

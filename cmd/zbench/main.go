@@ -1,7 +1,8 @@
 // Command zbench measures the repository's headline performance
 // numbers — packed-replay ns/instr, the Source-interface dispatch tax,
-// streaming generation cost, and full-simulation ns/instr per machine
-// generation — and writes them as one schema-versioned JSON document.
+// streaming generation cost, full-simulation ns/instr per machine
+// generation, and coordinator sweep throughput over 1/2/4 backends —
+// and writes them as one schema-versioned JSON document.
 //
 // The intended workflow is a trajectory: each performance PR runs
 // `make bench-json` and commits the resulting BENCH_<pr>.json next to
@@ -18,16 +19,23 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"zbp/internal/cluster"
 	"zbp/internal/core"
+	"zbp/internal/metrics"
+	"zbp/internal/server"
 	"zbp/internal/sim"
 	"zbp/internal/trace"
 	"zbp/internal/workload"
@@ -60,9 +68,15 @@ type benchEntry struct {
 	// WallNsPerOp is wall time per operation (one full pass).
 	WallNsPerOp int64 `json:"wall_ns_per_op"`
 	// NsPerInstr is the headline: wall time per instruction.
-	NsPerInstr float64 `json:"ns_per_instr"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
-	BytesPerOp  int64  `json:"bytes_per_op"`
+	NsPerInstr  float64 `json:"ns_per_instr"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// CellsPerOp is the sweep grid size for cluster entries (additive
+	// field; zero for the single-cell benchmarks).
+	CellsPerOp int `json:"cells_per_op,omitempty"`
+	// Note carries measurement caveats a reader needs to interpret the
+	// number honestly (e.g. host CPU count capping real scaling).
+	Note string `json:"note,omitempty"`
 }
 
 func main() {
@@ -151,7 +165,212 @@ func measure(scale int, seed uint64, wl, only string) ([]benchEntry, error) {
 			BytesPerOp:   r.AllocedBytesPerOp(),
 		})
 	}
+	cl, err := clusterEntries(scale, seed, only)
+	if err != nil {
+		return nil, err
+	}
+	return append(entries, cl...), nil
+}
+
+// --- coordinator scaling ---------------------------------------------
+
+// clusterEntries measures coordinator sweep throughput against 1, 2,
+// and 4 backends, twice:
+//
+//   - cluster/sweep-N: real in-process zbpd backends, cache-cold
+//     (no_cache) sweeps. The work is compute-bound, so wall-clock
+//     scaling is capped by the host's physical CPU count — on a 1-CPU
+//     box all three land near 1x, and the entry's note says so.
+//   - cluster/fabric-N: mock backends with a fixed service time per
+//     cell. Backend compute is out of the picture, so this isolates
+//     the dispatch fabric — routing, slots, HTTP round-trips — which
+//     must scale with backend count regardless of host CPUs.
+func clusterEntries(scale int, seed uint64, only string) ([]benchEntry, error) {
+	var entries []benchEntry
+	if only != "" && !strings.HasPrefix("cluster/", only) && !strings.HasPrefix(only, "cluster") {
+		return nil, nil
+	}
+
+	realGrid := server.SweepRequest{
+		Configs:      []string{"z15"},
+		Workloads:    []string{"loops", "micro"},
+		Seeds:        []uint64{seed, seed + 1, seed + 2, seed + 3},
+		Instructions: scale,
+	}
+	realCells := len(realGrid.Configs) * len(realGrid.Workloads) * len(realGrid.Seeds)
+
+	// 150 ms keeps the per-cell coordinator CPU cost (a few ms of
+	// JSON+HTTP, all serialized on a small host) a rounding error next
+	// to the simulated backend service time, so the scaling curve
+	// reflects the dispatch fabric rather than the host's core count.
+	const fabricService = 150 * time.Millisecond
+	const fabricInstr = 1000
+	fabricSeeds := make([]uint64, 48)
+	for i := range fabricSeeds {
+		fabricSeeds[i] = seed + uint64(i)
+	}
+	fabricGrid := server.SweepRequest{
+		Configs:      []string{"z15"},
+		Workloads:    []string{"loops"},
+		Seeds:        fabricSeeds,
+		Instructions: fabricInstr,
+	}
+	canned, err := fabricStats()
+	if err != nil {
+		return nil, fmt.Errorf("fabric stats: %w", err)
+	}
+
+	for _, n := range []int{1, 2, 4} {
+		name := fmt.Sprintf("cluster/sweep-%d", n)
+		if only == "" || strings.HasPrefix(name, only) {
+			e, err := measureSweep(name, n, realGrid, realCells, true, realBackends)
+			if err != nil {
+				return nil, err
+			}
+			e.Note = fmt.Sprintf("cache-cold sweep over %d real in-process backend(s); compute-bound, scaling capped by host CPUs (%d here)", n, runtime.NumCPU())
+			entries = append(entries, e)
+		}
+	}
+	for _, n := range []int{1, 2, 4} {
+		name := fmt.Sprintf("cluster/fabric-%d", n)
+		if only == "" || strings.HasPrefix(name, only) {
+			e, err := measureSweep(name, n, fabricGrid, len(fabricSeeds), false, func(n int) ([]string, func(), error) {
+				return mockBackends(n, fabricService, canned)
+			})
+			if err != nil {
+				return nil, err
+			}
+			e.Note = fmt.Sprintf("dispatch-fabric scaling over %d mock backend(s) with a fixed %s per-cell service time; isolates coordinator overhead from backend compute", n, fabricService)
+			entries = append(entries, e)
+		}
+	}
 	return entries, nil
+}
+
+// measureSweep boots a fleet, runs the grid as one coordinator sweep
+// per benchmark operation, and tears the fleet down.
+func measureSweep(name string, n int, grid server.SweepRequest, cells int, noCache bool, boot func(int) ([]string, func(), error)) (benchEntry, error) {
+	urls, stop, err := boot(n)
+	if err != nil {
+		return benchEntry{}, err
+	}
+	defer stop()
+	coord, err := cluster.New(cluster.Config{
+		Backends:         urls,
+		Router:           "round-robin", // even spread: cache affinity buys nothing cache-cold
+		AdmitCellsPerSec: -1,            // admission off: the bench is the load generator
+		HedgeDelay:       -1,            // hedging off: duplicates would blur per-backend cost
+	})
+	if err != nil {
+		return benchEntry{}, err
+	}
+	defer coord.Close()
+
+	fmt.Fprintf(os.Stderr, "zbench: %s...\n", name)
+	var failure error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			resp, err := coord.RunSweep(context.Background(), grid, noCache, nil)
+			if err != nil {
+				failure = err
+				b.FailNow()
+			}
+			if resp.Errors != 0 {
+				failure = fmt.Errorf("%d of %d cells errored", resp.Errors, cells)
+				b.FailNow()
+			}
+		}
+	})
+	if failure != nil {
+		return benchEntry{}, fmt.Errorf("%s: %w", name, failure)
+	}
+	if r.N == 0 {
+		return benchEntry{}, fmt.Errorf("%s: benchmark did not run", name)
+	}
+	instr := cells * grid.Instructions
+	return benchEntry{
+		Name:         name,
+		Instructions: instr,
+		Iterations:   r.N,
+		WallNsPerOp:  r.NsPerOp(),
+		NsPerInstr:   float64(r.NsPerOp()) / float64(instr),
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+		CellsPerOp:   cells,
+	}, nil
+}
+
+// realBackends boots n full zbpd single-box servers on loopback.
+func realBackends(n int) ([]string, func(), error) {
+	urls := make([]string, 0, n)
+	var closers []func()
+	for i := 0; i < n; i++ {
+		s, err := server.New(server.Config{Workers: 2, QueueDepth: 256, AuditEvery: -1})
+		if err != nil {
+			for _, c := range closers {
+				c()
+			}
+			return nil, nil, err
+		}
+		ts := httptest.NewServer(s.Handler())
+		urls = append(urls, ts.URL)
+		closers = append(closers, func() { ts.Close(); s.Close() })
+	}
+	return urls, func() {
+		for _, c := range closers {
+			c()
+		}
+	}, nil
+}
+
+// mockBackends boots n fake backends that accept any cell, sleep the
+// fixed service time, and return the canned stats blob.
+func mockBackends(n int, service time.Duration, stats json.RawMessage) ([]string, func(), error) {
+	resp, err := json.Marshal(server.CellResponse{Stats: stats})
+	if err != nil {
+		return nil, nil, err
+	}
+	urls := make([]string, 0, n)
+	var closers []func()
+	for i := 0; i < n; i++ {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(server.Health{Status: "ok", Workers: 4, QueueCapacity: 64})
+		})
+		mux.HandleFunc("POST /v1/cell", func(w http.ResponseWriter, r *http.Request) {
+			_, _ = io.Copy(io.Discard, r.Body)
+			time.Sleep(service)
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(resp)
+		})
+		ts := httptest.NewServer(mux)
+		urls = append(urls, ts.URL)
+		closers = append(closers, ts.Close)
+	}
+	return urls, func() {
+		for _, c := range closers {
+			c()
+		}
+	}, nil
+}
+
+// fabricStats builds the minimal stats document the coordinator's
+// Summarize consumes. The fabric benchmark measures dispatch, not
+// payload parsing, so the blob carries exactly the summarized metrics.
+func fabricStats() (json.RawMessage, error) {
+	return json.Marshal(metrics.Snapshot{
+		SchemaVersion: metrics.SchemaVersion,
+		Counters:      map[string]int64{"sim.cycles": 1200},
+		Gauges: map[string]float64{
+			"sim.instructions": 1000,
+			"sim.branches":     200,
+			"sim.mpki":         4.2,
+			"sim.ipc":          0.9,
+			"sim.accuracy":     0.97,
+		},
+	})
 }
 
 // replayPacked drains the packed cursor through the concrete

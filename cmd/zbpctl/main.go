@@ -1,0 +1,237 @@
+// Command zbpctl is a thin client for a zbpd service or coordinator:
+// ad-hoc sweeps and simulations from the shell, without hand-writing
+// request JSON or an event-stream reader.
+//
+// Usage:
+//
+//	zbpctl -addr http://localhost:8300 sweep -configs z14,z15 -workloads lspr,micro -seeds 1,2
+//	zbpctl -addr http://localhost:8300 simulate -workload lspr -n 2000000
+//	zbpctl -addr http://localhost:8300 health
+//
+// sweep and simulate submit an async job, follow the JSONL event
+// stream (one progress line per cell on stderr), and print the final
+// result JSON on stdout — so `zbpctl sweep ... | jq .cells` composes.
+// The exact same invocation works against a single box and against a
+// coordinator fronting a fleet; the coordinator's cells additionally
+// carry which backend served them and whether a hedge won.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"zbp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8347", "zbpd or coordinator base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	base := strings.TrimRight(*addr, "/")
+	var err error
+	switch args[0] {
+	case "sweep":
+		err = runSweep(base, args[1:])
+	case "simulate":
+		err = runSimulate(base, args[1:])
+	case "health":
+		err = get(base + "/healthz")
+	case "metrics":
+		err = get(base + "/metrics")
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zbpctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: zbpctl [-addr URL] <command> [flags]
+
+commands:
+  sweep     -configs a,b -workloads x,y -seeds 1,2 [-n N] [-no-cache] [-quiet]
+  simulate  -workload x [-config a] [-seed N] [-n N] [-no-cache] [-quiet]
+  health    print the service /healthz JSON
+  metrics   print the service /metrics exposition
+`)
+}
+
+func runSweep(base string, args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	configs := fs.String("configs", "z15", "comma-separated machine presets")
+	workloads := fs.String("workloads", "", "comma-separated workloads (required)")
+	seeds := fs.String("seeds", "42", "comma-separated seeds")
+	n := fs.Int("n", 0, "per-thread instruction budget (0 = server default)")
+	noCache := fs.Bool("no-cache", false, "force recomputation, skip the result cache")
+	quiet := fs.Bool("quiet", false, "suppress per-cell progress lines")
+	fs.Parse(args)
+
+	seedVals, err := parseSeeds(*seeds)
+	if err != nil {
+		return err
+	}
+	req := server.JobRequest{
+		Kind: "sweep",
+		Sweep: &server.SweepRequest{
+			Configs:      splitList(*configs),
+			Workloads:    splitList(*workloads),
+			Seeds:        seedVals,
+			Instructions: *n,
+		},
+		NoCache: *noCache,
+	}
+	return submitAndFollow(base, req, *quiet)
+}
+
+func runSimulate(base string, args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	config := fs.String("config", "z15", "machine preset")
+	wl := fs.String("workload", "", "workload (required)")
+	wl2 := fs.String("workload2", "", "second-thread workload (SMT2)")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	n := fs.Int("n", 0, "per-thread instruction budget (0 = server default)")
+	noCache := fs.Bool("no-cache", false, "force recomputation, skip the result cache")
+	quiet := fs.Bool("quiet", false, "suppress per-cell progress lines")
+	fs.Parse(args)
+
+	s := *seed
+	req := server.JobRequest{
+		Kind: "simulate",
+		Simulate: &server.SimulateRequest{
+			Config: *config, Workload: *wl, Workload2: *wl2,
+			Seed: &s, Instructions: *n,
+		},
+		NoCache: *noCache,
+	}
+	return submitAndFollow(base, req, *quiet)
+}
+
+// submitAndFollow posts the job, mirrors its event stream to stderr,
+// then prints the terminal result to stdout.
+func submitAndFollow(base string, req server.JobRequest, quiet bool) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("submit: %s: %s", resp.Status, readBody(resp.Body))
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("submit: undecodable job status: %w", err)
+	}
+
+	ev, err := http.Get(base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		return err
+	}
+	defer ev.Body.Close()
+	if ev.StatusCode != http.StatusOK {
+		return fmt.Errorf("events: %s: %s", ev.Status, readBody(ev.Body))
+	}
+	sc := bufio.NewScanner(ev.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		if !quiet {
+			fmt.Fprintln(os.Stderr, sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("events: %w", err)
+	}
+
+	// The stream ends only at a terminal state; fetch the result.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		final, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return err
+		}
+		var job struct {
+			State  string          `json:"state"`
+			Error  string          `json:"error"`
+			Result json.RawMessage `json:"result"`
+		}
+		derr := json.NewDecoder(final.Body).Decode(&job)
+		final.Body.Close()
+		if derr != nil {
+			return derr
+		}
+		switch job.State {
+		case "done":
+			os.Stdout.Write(job.Result)
+			fmt.Println()
+			return nil
+		case "failed", "canceled":
+			return fmt.Errorf("job %s: %s", job.State, job.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %q after its event stream ended", st.ID, job.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func get(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, readBody(resp.Body))
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func readBody(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 4096))
+	return strings.TrimSpace(string(b))
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseSeeds(s string) ([]uint64, error) {
+	var out []uint64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseUint(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

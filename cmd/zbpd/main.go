@@ -21,6 +21,12 @@
 // without simulating, and a background auditor recomputes sampled
 // cache hits through the equivalence harness (-audit-every).
 //
+// Coordinator mode turns the same binary into a fleet front-end that
+// serves the same API by sharding sweep grids across backends:
+//
+//	zbpd -coordinator -backends http://host1:8347,http://host2:8347 \
+//	     -router rendezvous -hedge-delay 400ms
+//
 // On SIGINT/SIGTERM the listener stops, running jobs and their event
 // streams are canceled, in-flight simulations drain (bounded by
 // -grace), and only then does the process exit.
@@ -35,11 +41,20 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"zbp/internal/cluster"
 	"zbp/internal/server"
 )
+
+// drainer is the piece of graceful shutdown both roles share: stop
+// admitting, cancel running jobs, then release resources.
+type drainer interface {
+	Drain()
+	Close()
+}
 
 func main() {
 	var (
@@ -59,31 +74,80 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "directory for the persistent result cache (empty = memory only)")
 		cacheDisk  = flag.Int64("cache-disk-bytes", 1<<30, "on-disk result cache bound")
 		auditEvery = flag.Int("audit-every", 16, "recompute every Nth cache hit through the equiv auditor (negative disables)")
+
+		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator instead of a simulation backend")
+		backends    = flag.String("backends", "", "comma-separated backend base URLs (coordinator mode)")
+		router      = flag.String("router", "rendezvous", "cell routing policy: rendezvous, least-loaded, round-robin")
+		cellTO      = flag.Duration("cell-timeout", 60*time.Second, "per-attempt deadline for one dispatched cell (coordinator mode)")
+		hedgeDelay  = flag.Duration("hedge-delay", 400*time.Millisecond, "straggler threshold before a duplicate dispatch (negative disables; coordinator mode)")
+		maxAttempts = flag.Int("max-attempts", 0, "dispatch attempts per cell incl. retries and the hedge (0 = max(3, #backends); coordinator mode)")
+		perBackend  = flag.Int("inflight-per-backend", 4, "concurrent cells per backend (coordinator mode)")
+		admitRate   = flag.Float64("admit-cells-per-sec", 256, "token-bucket admission refill, one token per cell (negative disables; coordinator mode)")
+		admitBurst  = flag.Int("admit-burst", 1024, "token-bucket admission capacity (coordinator mode)")
 	)
 	flag.Parse()
 
-	srv, err := server.New(server.Config{
-		Workers:             *workers,
-		QueueDepth:          *queue,
-		MaxInstructions:     *maxN,
-		DefaultInstructions: *defN,
-		MaxSweepCells:       *maxCells,
-		DefaultTimeout:      *timeout,
-		MaxTimeout:          *maxTO,
-		MaxJobs:             *maxJobs,
-		JobTTL:              *jobTTL,
-		CacheMemBytes:       *cacheMem,
-		CacheDir:            *cacheDir,
-		CacheDiskBytes:      *cacheDisk,
-		AuditEvery:          *auditEvery,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "zbpd:", err)
-		os.Exit(1)
+	var (
+		handler http.Handler
+		svc     drainer
+		role    = "zbpd"
+	)
+	if *coordinator {
+		role = "zbpd coordinator"
+		urls := strings.Split(*backends, ",")
+		clean := urls[:0]
+		for _, u := range urls {
+			if u = strings.TrimSpace(u); u != "" {
+				clean = append(clean, u)
+			}
+		}
+		coord, err := cluster.New(cluster.Config{
+			Backends:            clean,
+			Router:              *router,
+			CellTimeout:         *cellTO,
+			HedgeDelay:          *hedgeDelay,
+			MaxAttempts:         *maxAttempts,
+			InflightPerBackend:  *perBackend,
+			AdmitCellsPerSec:    *admitRate,
+			AdmitBurst:          *admitBurst,
+			MaxInstructions:     *maxN,
+			DefaultInstructions: *defN,
+			DefaultTimeout:      *timeout,
+			MaxTimeout:          *maxTO,
+			MaxJobs:             *maxJobs,
+			JobTTL:              *jobTTL,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zbpd:", err)
+			os.Exit(1)
+		}
+		handler, svc = coord.Handler(), coord
+		log.Printf("zbpd: coordinating %d backends (router %s)", len(clean), *router)
+	} else {
+		srv, err := server.New(server.Config{
+			Workers:             *workers,
+			QueueDepth:          *queue,
+			MaxInstructions:     *maxN,
+			DefaultInstructions: *defN,
+			MaxSweepCells:       *maxCells,
+			DefaultTimeout:      *timeout,
+			MaxTimeout:          *maxTO,
+			MaxJobs:             *maxJobs,
+			JobTTL:              *jobTTL,
+			CacheMemBytes:       *cacheMem,
+			CacheDir:            *cacheDir,
+			CacheDiskBytes:      *cacheDisk,
+			AuditEvery:          *auditEvery,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zbpd:", err)
+			os.Exit(1)
+		}
+		handler, svc = srv.Handler(), srv
 	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -92,7 +156,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("zbpd: listening on %s", *addr)
+	log.Printf("%s: listening on %s", role, *addr)
 
 	select {
 	case err := <-errc:
@@ -101,11 +165,11 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		log.Printf("zbpd: signal received, draining (grace %v)", *grace)
+		log.Printf("%s: signal received, draining (grace %v)", role, *grace)
 		// Drain first: it cancels running async jobs and terminates
 		// their event streams, so long-lived streaming connections do
 		// not hold Shutdown open for the whole grace budget.
-		srv.Drain()
+		svc.Drain()
 		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		// Shutdown stops the listener and waits for handlers — which
@@ -113,12 +177,12 @@ func main() {
 		// grace budget; past it, Close force-drops connections, which
 		// cancels the request contexts and stops the sims.
 		if err := hs.Shutdown(sctx); err != nil {
-			log.Printf("zbpd: grace expired, force closing: %v", err)
+			log.Printf("%s: grace expired, force closing: %v", role, err)
 			hs.Close()
 		}
 		// With no handlers left there are no queue submitters; drain
 		// whatever the workers still hold.
-		srv.Close()
-		log.Printf("zbpd: drained, exiting")
+		svc.Close()
+		log.Printf("%s: drained, exiting", role)
 	}
 }

@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a token bucket charging one token per grid cell at
+// admission time, so a burst of huge sweeps degrades into 429s with
+// honest Retry-After hints instead of an unbounded dispatch pile-up.
+// The clock is injected so tests drive refill deterministically.
+type bucket struct {
+	mu       sync.Mutex
+	tokens   float64
+	capacity float64
+	rate     float64 // tokens per second
+	last     time.Time
+	now      func() time.Time
+}
+
+func newBucket(rate, capacity float64, now func() time.Time) *bucket {
+	return &bucket{tokens: capacity, capacity: capacity, rate: rate, last: now(), now: now}
+}
+
+// take attempts to spend n tokens. On refusal it returns how long
+// until the bucket could cover n (capped at the time to fill from
+// empty), which becomes the Retry-After hint.
+func (b *bucket) take(n float64) (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	missing := n - b.tokens
+	if missing > b.capacity {
+		missing = b.capacity
+	}
+	return false, time.Duration(missing / b.rate * float64(time.Second))
+}
+
+// available returns the current token count (for the admission gauge).
+func (b *bucket) available() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	return b.tokens
+}
+
+func (b *bucket) refillLocked() {
+	now := b.now()
+	dt := now.Sub(b.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	b.last = now
+	b.tokens += dt * b.rate
+	if b.tokens > b.capacity {
+		b.tokens = b.capacity
+	}
+}

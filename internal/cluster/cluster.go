@@ -1,0 +1,539 @@
+// Package cluster shards sweeps across a fleet of zbpd backends. A
+// single zbpd process is fast and never recomputes repeats, but one
+// sweep still occupies one queue slot on one box — wall-clock for a
+// large grid is bounded by one machine. The coordinator in this
+// package accepts the existing /v1/sweep and /v1/jobs surface
+// unchanged, decomposes the grid into cells, and dispatches them to
+// backends over the /v1/cell protocol with:
+//
+//   - Pluggable routing: rendezvous hashing on the result cache's
+//     canonical spec key (the default — identical cells always land on
+//     the backend that already holds the cached bytes), least-loaded
+//     (queue depth x run_seconds_ewma scraped from each backend's
+//     /healthz JSON), and round-robin.
+//   - Token-bucket admission control plus per-backend in-flight caps:
+//     fleet saturation becomes a 429 with a fleet-derived Retry-After
+//     instead of an unbounded pile-up.
+//   - Timeout/retry with hedged duplicates for straggler cells. The
+//     simulator is deterministic down to byte-identical stats JSON, so
+//     the first response simply wins — duplicate dispatch needs no
+//     reconciliation logic, which is what makes hedging free.
+//   - Automatic rerouting away from backends that fail health probes
+//     or drop connections mid-cell.
+//   - Streamed aggregation: per-cell JSONL progress events flow
+//     through the same /v1/jobs/{id}/events machinery a single box
+//     serves, so a client watching a large sweep sees cells complete
+//     live across the fleet.
+//
+// Because every cell is deterministic and the coordinator derives its
+// aggregate rows from backend-returned canonical stats through the
+// same server.Summarize a single box uses, a fleet sweep's result
+// JSON is byte-identical to a single-box run — even when a backend
+// dies mid-sweep and its cells are replayed elsewhere.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zbp/internal/core"
+	"zbp/internal/jobs"
+	"zbp/internal/metrics"
+	"zbp/internal/rcache"
+	"zbp/internal/server"
+	"zbp/internal/workload"
+)
+
+// Config sizes a Coordinator. Backends is required; every other field
+// has a production-lean default applied by New.
+type Config struct {
+	// Backends is the fleet: base URLs of zbpd processes ("http://host:8347").
+	Backends []string
+	// Router selects the routing policy: "rendezvous" (default),
+	// "least-loaded", or "round-robin".
+	Router string
+
+	// CellTimeout bounds one dispatch attempt of one cell. Default: 60s.
+	CellTimeout time.Duration
+	// HedgeDelay is how long the primary attempt may run before a
+	// duplicate is launched on the next-choice backend. 0 means the
+	// default of 400ms; negative disables hedging.
+	HedgeDelay time.Duration
+	// MaxAttempts bounds total launches per cell (primary + retries +
+	// the hedge). Default: max(3, len(Backends)).
+	MaxAttempts int
+	// InflightPerBackend caps concurrent cells dispatched to one
+	// backend. Default: 4.
+	InflightPerBackend int
+
+	// AdmitCellsPerSec refills the admission token bucket (one token
+	// per grid cell). 0 means the default of 256; negative disables
+	// admission control.
+	AdmitCellsPerSec float64
+	// AdmitBurst is the bucket capacity. Default: 1024.
+	AdmitBurst int
+
+	// HealthInterval is the /healthz polling period. Default: 250ms.
+	HealthInterval time.Duration
+	// HealthFailures is how many consecutive probe or transport
+	// failures mark a backend unhealthy. Default: 3.
+	HealthFailures int
+
+	// Request surface limits, mirroring the single-box service.
+	MaxBodyBytes        int64
+	MaxSweepCells       int // default 16384: fleets exist for big grids
+	MaxInstructions     int
+	DefaultInstructions int
+	DefaultTimeout      time.Duration
+	MaxTimeout          time.Duration
+	MaxJobs             int
+	JobTTL              time.Duration
+
+	// now supplies the clock for the job table and admission bucket;
+	// tests inject a fake.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Router == "" {
+		c.Router = "rendezvous"
+	}
+	if c.CellTimeout <= 0 {
+		c.CellTimeout = 60 * time.Second
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 400 * time.Millisecond
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+		if len(c.Backends) > c.MaxAttempts {
+			c.MaxAttempts = len(c.Backends)
+		}
+	}
+	if c.InflightPerBackend <= 0 {
+		c.InflightPerBackend = 4
+	}
+	if c.AdmitCellsPerSec == 0 {
+		c.AdmitCellsPerSec = 256
+	}
+	if c.AdmitBurst <= 0 {
+		c.AdmitBurst = 1024
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 250 * time.Millisecond
+	}
+	if c.HealthFailures <= 0 {
+		c.HealthFailures = 3
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxSweepCells <= 0 {
+		c.MaxSweepCells = 16384
+	}
+	if c.MaxInstructions <= 0 {
+		c.MaxInstructions = 20_000_000
+	}
+	if c.DefaultInstructions <= 0 {
+		c.DefaultInstructions = 1_000_000
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 64
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 15 * time.Minute
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Coordinator fans cells out over the fleet. Build with New, serve
+// Handler, and Close when done (Drain first on graceful shutdown).
+type Coordinator struct {
+	cfg      Config
+	backends []*backend
+	router   router
+	rr       atomic.Uint64 // shared rotation cursor (round-robin, tie-breaks, diff forwarding)
+	jobs     *jobs.Store
+	reg      *metrics.Registry
+	mux      *http.ServeMux
+	bucket   *bucket
+	client   *http.Client
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	// Live counters, exported via /metrics.
+	requests      atomic.Int64
+	completed     atomic.Int64
+	rejected      atomic.Int64
+	failed        atomic.Int64
+	canceled      atomic.Int64
+	jobsSubmitted atomic.Int64
+
+	cellsDone        atomic.Int64
+	cellsCached      atomic.Int64
+	cellErrors       atomic.Int64
+	attempts         atomic.Int64
+	retries          atomic.Int64
+	hedgeLaunched    atomic.Int64
+	hedgeWins        atomic.Int64
+	backendUnhealthy atomic.Int64
+}
+
+// New builds a coordinator over the configured fleet and starts its
+// health-probe loop. Callers must Close it.
+func New(cfg Config) (*Coordinator, error) {
+	c := &Coordinator{cfg: cfg.withDefaults()}
+	if len(c.cfg.Backends) == 0 {
+		return nil, errors.New("cluster: no backends configured")
+	}
+	seen := map[string]bool{}
+	for _, raw := range c.cfg.Backends {
+		b, err := newBackend(raw, c.cfg.InflightPerBackend)
+		if err != nil {
+			return nil, err
+		}
+		if seen[b.url] {
+			return nil, fmt.Errorf("cluster: duplicate backend %s", b.url)
+		}
+		seen[b.url] = true
+		c.backends = append(c.backends, b)
+	}
+	r, err := newRouter(c.cfg.Router, &c.rr)
+	if err != nil {
+		return nil, err
+	}
+	c.router = r
+	if c.cfg.AdmitCellsPerSec > 0 {
+		c.bucket = newBucket(c.cfg.AdmitCellsPerSec, float64(c.cfg.AdmitBurst), c.cfg.now)
+	}
+	c.jobs = jobs.NewStore(jobs.Options{
+		MaxJobs: c.cfg.MaxJobs,
+		TTL:     c.cfg.JobTTL,
+		Now:     c.cfg.now,
+	})
+	c.client = &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        len(c.backends) * (c.cfg.InflightPerBackend + 2),
+		MaxIdleConnsPerHost: c.cfg.InflightPerBackend + 2,
+		IdleConnTimeout:     90 * time.Second,
+	}}
+	c.baseCtx, c.baseCancel = context.WithCancel(context.Background())
+	c.reg = c.buildRegistry()
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/simulate", c.handleSimulate)
+	c.mux.HandleFunc("POST /v1/sweep", c.handleSweep)
+	c.mux.HandleFunc("POST /v1/jobs", c.handleJobCreate)
+	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleJobGet)
+	c.mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleJobEvents)
+	c.mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleJobDelete)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.wg.Add(1)
+	go c.probeLoop()
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler tree.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Drain begins shutdown: new job submissions are refused and running
+// jobs cancel cooperatively, ending their event streams. Call before
+// http.Server.Shutdown.
+func (c *Coordinator) Drain() { c.baseCancel() }
+
+// Close cancels everything outstanding and waits for job runners and
+// the probe loop to exit.
+func (c *Coordinator) Close() {
+	c.baseCancel()
+	c.wg.Wait()
+	c.client.CloseIdleConnections()
+}
+
+// RouteKey returns the routing identity of a cell: exactly the result
+// cache's content address (rcache.NewKey), so the rendezvous router
+// and every backend's cache agree on what "the same cell" means.
+// TestRouteKeyMatchesCacheKey pins that the two never drift.
+func RouteKey(spec rcache.CellSpec) rcache.Key { return rcache.NewKey(spec) }
+
+// healthyBackends returns the backends currently passing probes; when
+// the whole fleet looks down it returns everything, because dispatch
+// attempts are themselves the fastest way to discover recovery.
+func (c *Coordinator) healthyBackends() []*backend {
+	out := make([]*backend, 0, len(c.backends))
+	for _, b := range c.backends {
+		if b.healthy.Load() {
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		return c.backends
+	}
+	return out
+}
+
+// order returns the preference-ordered backends for one cell.
+func (c *Coordinator) order(spec rcache.CellSpec) []*backend {
+	return c.router.order(RouteKey(spec).Hash64(), c.healthyBackends())
+}
+
+// fleetEWMASeconds is the mean smoothed per-task duration across
+// backends with a load snapshot — the fleet-level analogue of the
+// single box's run_seconds_ewma, reported in progress events.
+func (c *Coordinator) fleetEWMASeconds() float64 {
+	var sum float64
+	n := 0
+	for _, b := range c.backends {
+		if h := b.load.Load(); h != nil {
+			sum += h.RunSecondsEWMA
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// fleetWaitSeconds estimates when fleet capacity frees up: the least
+// busy healthy backend's queued work spread over its workers.
+func (c *Coordinator) fleetWaitSeconds() float64 {
+	best := 0.0
+	have := false
+	for _, b := range c.healthyBackends() {
+		h := b.load.Load()
+		if h == nil {
+			continue
+		}
+		workers := h.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		ewma := h.RunSecondsEWMA
+		if ewma <= 0 {
+			ewma = 1
+		}
+		est := float64(h.QueueDepth+int(h.Inflight)+1) * ewma / float64(workers)
+		if !have || est < best {
+			best, have = est, true
+		}
+	}
+	return best
+}
+
+// probeLoop polls every backend's /healthz on the configured interval
+// until the coordinator closes.
+func (c *Coordinator) probeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.baseCtx.Done():
+			return
+		case <-t.C:
+		}
+		var pw sync.WaitGroup
+		for _, b := range c.backends {
+			pw.Add(1)
+			go func(b *backend) {
+				defer pw.Done()
+				c.probe(b)
+			}(b)
+		}
+		pw.Wait()
+	}
+}
+
+func (c *Coordinator) probe(b *backend) {
+	// The timeout is floored well above the probe interval: a sluggish
+	// scrape is load, not death — dead backends fail fast on dial.
+	timeout := 4 * c.cfg.HealthInterval
+	if timeout < time.Second {
+		timeout = time.Second
+	}
+	ctx, cancel := context.WithTimeout(c.baseCtx, timeout)
+	defer cancel()
+	h, err := b.fetchHealth(ctx, c.client)
+	if err != nil {
+		c.noteBackendFailure(b)
+		return
+	}
+	b.load.Store(h)
+	c.noteBackendSuccess(b)
+}
+
+// noteBackendFailure records one failed probe or transport-level
+// dispatch error; enough in a row flips the backend unhealthy and
+// routes new cells away from it.
+func (c *Coordinator) noteBackendFailure(b *backend) {
+	if int(b.consecFails.Add(1)) >= c.cfg.HealthFailures {
+		if b.healthy.CompareAndSwap(true, false) {
+			c.backendUnhealthy.Add(1)
+			log.Printf("cluster: backend %s marked unhealthy", b.name)
+		}
+	}
+}
+
+func (c *Coordinator) noteBackendSuccess(b *backend) {
+	b.consecFails.Store(0)
+	if b.healthy.CompareAndSwap(false, true) {
+		log.Printf("cluster: backend %s healthy again", b.name)
+	}
+}
+
+// buildRegistry wires the coordinator gauges; everything is a
+// snapshot-time read of an atomic, so scrapes race nothing.
+func (c *Coordinator) buildRegistry() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	reg.Label("service", "zbpd-coordinator")
+	gauge := func(name string, v *atomic.Int64) {
+		reg.Gauge(name, func() float64 { return float64(v.Load()) })
+	}
+	gauge("zbpd.requests_total", &c.requests)
+	gauge("zbpd.completed_total", &c.completed)
+	gauge("zbpd.rejected_total", &c.rejected)
+	gauge("zbpd.failed_total", &c.failed)
+	gauge("zbpd.canceled_total", &c.canceled)
+	gauge("zbpd.jobs_submitted_total", &c.jobsSubmitted)
+	gauge("zbpd.coord_cells_total", &c.cellsDone)
+	gauge("zbpd.coord_cells_cached_total", &c.cellsCached)
+	gauge("zbpd.coord_cell_errors_total", &c.cellErrors)
+	gauge("zbpd.coord_attempts_total", &c.attempts)
+	gauge("zbpd.coord_retries_total", &c.retries)
+	gauge("zbpd.hedge_launched_total", &c.hedgeLaunched)
+	gauge("zbpd.hedge_wins_total", &c.hedgeWins)
+	gauge("zbpd.backend_unhealthy_total", &c.backendUnhealthy)
+	fn := func(name string, f func() float64) { reg.Gauge(name, f) }
+	fn("zbpd.coord_backends", func() float64 { return float64(len(c.backends)) })
+	fn("zbpd.coord_backends_healthy", func() float64 {
+		n := 0
+		for _, b := range c.backends {
+			if b.healthy.Load() {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	fn("zbpd.coord_inflight", func() float64 {
+		var n int64
+		for _, b := range c.backends {
+			n += b.inflight.Load()
+		}
+		return float64(n)
+	})
+	if c.bucket != nil {
+		fn("zbpd.coord_admit_tokens", func() float64 { return c.bucket.available() })
+	}
+	fn("zbpd.jobs_active", func() float64 { return float64(c.jobs.Active()) })
+	fn("zbpd.jobs_table", func() float64 { return float64(c.jobs.Len()) })
+	fn("zbpd.jobs_done_total", func() float64 { return float64(c.jobs.DoneCount()) })
+	fn("zbpd.jobs_failed_total", func() float64 { return float64(c.jobs.FailedCount()) })
+	fn("zbpd.jobs_canceled_total", func() float64 { return float64(c.jobs.CanceledCount()) })
+	fn("zbpd.jobs_evicted_total", func() float64 { return float64(c.jobs.Evicted()) })
+	return reg
+}
+
+// --- request validation (mirrors the single-box service) --------------
+
+func (c *Coordinator) normalizeSimulate(req *server.SimulateRequest) (uint64, error) {
+	if req.Config == "" {
+		req.Config = "z15"
+	}
+	seed := uint64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	if req.Instructions == 0 {
+		req.Instructions = c.cfg.DefaultInstructions
+	}
+	if _, err := core.ByName(req.Config); err != nil {
+		return 0, err
+	}
+	if err := validateWorkloads(req.Workload, req.Workload2); err != nil {
+		return 0, err
+	}
+	if req.Instructions < 0 || req.Instructions > c.cfg.MaxInstructions {
+		return 0, fmt.Errorf("instructions %d out of range [1, %d]", req.Instructions, c.cfg.MaxInstructions)
+	}
+	return seed, nil
+}
+
+func (c *Coordinator) normalizeSweep(req *server.SweepRequest) (int, error) {
+	if len(req.Configs) == 0 {
+		req.Configs = []string{"z15"}
+	}
+	if len(req.Seeds) == 0 {
+		req.Seeds = []uint64{42}
+	}
+	if req.Instructions == 0 {
+		req.Instructions = c.cfg.DefaultInstructions
+	}
+	if req.Instructions < 0 || req.Instructions > c.cfg.MaxInstructions {
+		return 0, fmt.Errorf("instructions %d out of range [1, %d]", req.Instructions, c.cfg.MaxInstructions)
+	}
+	cells := len(req.Configs) * len(req.Workloads) * len(req.Seeds)
+	if cells == 0 {
+		return 0, errors.New("empty sweep grid: need workloads")
+	}
+	if cells > c.cfg.MaxSweepCells {
+		return 0, fmt.Errorf("sweep grid has %d cells, limit %d", cells, c.cfg.MaxSweepCells)
+	}
+	if err := validateWorkloads(req.Workloads...); err != nil {
+		return 0, err
+	}
+	for _, name := range req.Configs {
+		if _, err := core.ByName(name); err != nil {
+			return 0, err
+		}
+	}
+	return cells, nil
+}
+
+func validateWorkloads(names ...string) error {
+	if len(names) == 0 || names[0] == "" {
+		return errors.New("missing workload")
+	}
+	reg := workload.Registry()
+	for _, name := range names {
+		if name == "" {
+			continue
+		}
+		if _, ok := reg[name]; !ok {
+			return fmt.Errorf("unknown workload %q (have %v)", name, workload.Names())
+		}
+	}
+	return nil
+}
+
+// backendName renders a URL as the short name used in events and logs.
+func backendName(raw string) (name, clean string, err error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", "", fmt.Errorf("cluster: bad backend URL %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", "", fmt.Errorf("cluster: backend URL %q must be http(s)", raw)
+	}
+	if u.Host == "" {
+		return "", "", fmt.Errorf("cluster: backend URL %q has no host", raw)
+	}
+	return u.Host, strings.TrimRight(u.String(), "/"), nil
+}

@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zbp/internal/rcache"
+	"zbp/internal/server"
+)
+
+// maxCellResponseBytes bounds one backend reply (a stats snapshot is
+// tens of KB; this is a safety ceiling, not a tuning knob).
+const maxCellResponseBytes = 8 << 20
+
+// cellOutcome is the winning attempt for one cell.
+type cellOutcome struct {
+	stats   []byte
+	cached  bool   // served from the winning backend's result cache
+	backend string // who won
+	hedged  bool   // the hedge duplicate won, not the primary
+}
+
+// attemptResult is what one dispatch attempt reports back.
+type attemptResult struct {
+	resp    *server.CellResponse
+	b       *backend
+	isHedge bool
+	err     error
+	// permanent marks errors no other backend can fix (the request
+	// itself is invalid), so retrying would only repeat the rejection.
+	permanent bool
+}
+
+// runCell resolves one cell against the fleet: primary dispatch on
+// the router's first choice, one hedged duplicate on the next choice
+// if the primary dawdles past HedgeDelay, and immediate rerouting on
+// failure — all capped at MaxAttempts launches. The first successful
+// response wins; determinism makes every response interchangeable
+// byte for byte, so the loser is simply cancelled, never reconciled.
+func (c *Coordinator) runCell(ctx context.Context, spec rcache.CellSpec, noCache bool) (cellOutcome, error) {
+	prefs := c.order(spec)
+	cellCtx, cancel := context.WithCancel(ctx)
+	defer cancel() // reaps the losing attempt the moment one wins
+
+	// Buffered to MaxAttempts so attempt goroutines never block on a
+	// departed listener.
+	results := make(chan attemptResult, c.cfg.MaxAttempts)
+	next, launched, inflight := 0, 0, 0
+	launch := func(isHedge bool) bool {
+		if launched >= c.cfg.MaxAttempts {
+			return false
+		}
+		b := prefs[next%len(prefs)]
+		next++
+		launched++
+		inflight++
+		c.attempts.Add(1)
+		if isHedge {
+			c.hedgeLaunched.Add(1)
+		}
+		go func() {
+			res := c.attempt(cellCtx, b, spec, noCache)
+			res.isHedge = isHedge
+			results <- res
+		}()
+		return true
+	}
+	launch(false)
+
+	var hedgeCh <-chan time.Time
+	if c.cfg.HedgeDelay > 0 {
+		t := time.NewTimer(c.cfg.HedgeDelay)
+		defer t.Stop()
+		hedgeCh = t.C
+	}
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return cellOutcome{}, ctx.Err()
+		case <-hedgeCh:
+			hedgeCh = nil // at most one hedge per cell
+			if inflight > 0 {
+				launch(true)
+			}
+		case res := <-results:
+			inflight--
+			if res.err == nil {
+				if res.isHedge {
+					c.hedgeWins.Add(1)
+				}
+				return cellOutcome{
+					stats: res.resp.Stats, cached: res.resp.Cached,
+					backend: res.b.name, hedged: res.isHedge,
+				}, nil
+			}
+			lastErr = res.err
+			if res.permanent {
+				return cellOutcome{}, res.err
+			}
+			// Reroute: the next-choice backend gets the cell now, not
+			// after a backoff — a failed box's work must migrate fast.
+			if launch(false) {
+				c.retries.Add(1)
+			} else if inflight == 0 {
+				return cellOutcome{}, fmt.Errorf("cell failed after %d attempts: %w", launched, lastErr)
+			}
+		}
+	}
+}
+
+// attempt runs one dispatch against one backend: slot, per-attempt
+// timeout, POST, classify.
+func (c *Coordinator) attempt(ctx context.Context, b *backend, spec rcache.CellSpec, noCache bool) attemptResult {
+	if err := b.acquire(ctx); err != nil {
+		return attemptResult{b: b, err: err}
+	}
+	defer b.release()
+	b.dispatched.Add(1)
+	actx, cancel := context.WithTimeout(ctx, c.cfg.CellTimeout)
+	defer cancel()
+	resp, permanent, err := c.postCell(actx, b, spec, noCache)
+	if err != nil {
+		b.failures.Add(1)
+		return attemptResult{b: b, err: err, permanent: permanent}
+	}
+	return attemptResult{resp: resp, b: b}
+}
+
+// postCell performs the /v1/cell POST and classifies the reply:
+// success, saturation (retry elsewhere, the box is fine), permanent
+// rejection (nobody can fix a bad request), or failure (counts toward
+// the backend's health).
+func (c *Coordinator) postCell(ctx context.Context, b *backend, spec rcache.CellSpec, noCache bool) (*server.CellResponse, bool, error) {
+	seed := spec.Seed
+	body, err := json.Marshal(server.CellRequest{
+		SimulateRequest: server.SimulateRequest{
+			Config: spec.Config, Workload: spec.Workload, Workload2: spec.Workload2,
+			Seed: &seed, Instructions: spec.Instructions,
+			TimeoutMs: int(c.cfg.CellTimeout / time.Millisecond),
+		},
+		NoCache: noCache,
+	})
+	if err != nil {
+		return nil, true, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/cell", bytes.NewReader(body))
+	if err != nil {
+		return nil, true, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		if ctx.Err() == context.Canceled {
+			// The cell was resolved elsewhere or the job died; not the
+			// backend's fault.
+			return nil, false, err
+		}
+		// Connection refused, reset, or a stall past the attempt
+		// timeout: evidence the box is sick.
+		c.noteBackendFailure(b)
+		return nil, false, fmt.Errorf("backend %s: %w", b.name, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		c.noteBackendSuccess(b)
+		var cr server.CellResponse
+		if derr := json.NewDecoder(io.LimitReader(resp.Body, maxCellResponseBytes)).Decode(&cr); derr != nil {
+			return nil, false, fmt.Errorf("backend %s: undecodable cell response: %w", b.name, derr)
+		}
+		return &cr, false, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Saturated, not sick: retry on the next choice without
+		// denting this backend's health.
+		drain(resp.Body)
+		return nil, false, fmt.Errorf("backend %s: saturated (429)", b.name)
+	case resp.StatusCode == http.StatusBadRequest,
+		resp.StatusCode == http.StatusRequestEntityTooLarge:
+		return nil, true, fmt.Errorf("backend %s rejected cell: %s", b.name, readError(resp.Body))
+	default:
+		c.noteBackendFailure(b)
+		return nil, false, fmt.Errorf("backend %s: %s: %s", b.name, resp.Status, readError(resp.Body))
+	}
+}
+
+func drain(r io.Reader) { _, _ = io.Copy(io.Discard, io.LimitReader(r, 4096)) }
+
+func readError(r io.Reader) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(io.LimitReader(r, 4096)).Decode(&e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return "(no detail)"
+}
+
+// CellEvent is the coordinator's per-cell JSONL progress line. It is
+// the single-box cellEvent plus fleet attribution (which backend,
+// whether the hedge won), so existing streaming clients keep working
+// and fleet-aware ones learn more.
+type CellEvent struct {
+	Type         string  `json:"type"` // "cell"
+	Index        int     `json:"index"`
+	Done         int     `json:"done"`
+	Total        int     `json:"total"`
+	Config       string  `json:"config"`
+	Workload     string  `json:"workload"`
+	Workload2    string  `json:"workload2,omitempty"`
+	Seed         uint64  `json:"seed"`
+	Cached       bool    `json:"cached"`
+	Backend      string  `json:"backend,omitempty"`
+	Hedged       bool    `json:"hedged,omitempty"`
+	Instructions int64   `json:"instructions,omitempty"`
+	Cycles       int64   `json:"cycles,omitempty"`
+	MPKI         float64 `json:"mpki"`
+	IPC          float64 `json:"ipc"`
+	Accuracy     float64 `json:"accuracy"`
+	Error        string  `json:"error,omitempty"`
+	// RunSecondsEWMA is the fleet-mean smoothed per-task duration at
+	// publish time (the fleet analogue of the single-box field).
+	RunSecondsEWMA float64 `json:"run_seconds_ewma"`
+}
+
+// RunSweep fans one sweep grid across the fleet, all cells in flight
+// at once (bounded by per-backend slots), and assembles the rows in
+// grid order — configs outermost, seeds innermost, exactly the
+// single-box layout. onEvent (optional) fires once per finished cell,
+// in completion order, with Done monotonically increasing.
+//
+// The returned response marshals byte-identically to a single-box
+// sweep of the same grid: rows are derived from backend-returned
+// canonical stats through the same server.Summarize, and row order is
+// position-assigned, not completion-ordered.
+func (c *Coordinator) RunSweep(ctx context.Context, req server.SweepRequest, noCache bool, onEvent func(CellEvent)) (server.SweepResponse, error) {
+	total := len(req.Configs) * len(req.Workloads) * len(req.Seeds)
+	rows := make([]server.SweepCell, total)
+	var done atomic.Int64
+	var evMu sync.Mutex // serializes onEvent so Done never regresses
+	var wg sync.WaitGroup
+	idx := 0
+	for _, cfgName := range req.Configs {
+		for _, wl := range req.Workloads {
+			for _, seed := range req.Seeds {
+				i := idx
+				spec := rcache.CellSpec{
+					Config: cfgName, Workload: wl, Seed: seed, Instructions: req.Instructions,
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rows[i] = c.sweepCell(ctx, spec, noCache, i, total, &done, &evMu, onEvent)
+				}()
+				idx++
+			}
+		}
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return server.SweepResponse{}, err
+	}
+	resp := server.SweepResponse{Cells: rows}
+	for i := range rows {
+		if rows[i].Error != "" {
+			resp.Errors++
+		}
+	}
+	return resp, nil
+}
+
+// sweepCell resolves one grid position and reports its event.
+func (c *Coordinator) sweepCell(ctx context.Context, spec rcache.CellSpec, noCache bool, i, total int, done *atomic.Int64, evMu *sync.Mutex, onEvent func(CellEvent)) server.SweepCell {
+	row := server.SweepCell{Config: spec.Config, Workload: spec.Workload, Seed: spec.Seed}
+	ev := CellEvent{
+		Type: "cell", Index: i, Total: total,
+		Config: spec.Config, Workload: spec.Workload, Seed: spec.Seed,
+	}
+	out, err := c.runCell(ctx, spec, noCache)
+	if err == nil {
+		var sum server.CellSummary
+		if _, sum, err = server.Summarize(spec, out.stats); err == nil {
+			row.Instructions, row.Cycles = sum.Instructions, sum.Cycles
+			row.MPKI, row.IPC, row.Accuracy = sum.MPKI, sum.IPC, sum.Accuracy
+			ev.Cached, ev.Backend, ev.Hedged = out.cached, out.backend, out.hedged
+			ev.Instructions, ev.Cycles = sum.Instructions, sum.Cycles
+			ev.MPKI, ev.IPC, ev.Accuracy = sum.MPKI, sum.IPC, sum.Accuracy
+			c.cellsDone.Add(1)
+			if out.cached {
+				c.cellsCached.Add(1)
+			}
+		}
+	}
+	if err != nil {
+		row.Error = err.Error()
+		ev.Error = row.Error
+		if ctx.Err() == nil {
+			c.cellErrors.Add(1)
+		}
+	}
+	if onEvent != nil && ctx.Err() == nil {
+		evMu.Lock()
+		ev.Done = int(done.Add(1))
+		ev.RunSecondsEWMA = c.fleetEWMASeconds()
+		onEvent(ev)
+		evMu.Unlock()
+	}
+	return row
+}
+
+// RunSimulate resolves one cell and shapes it as the public simulate
+// response (byte-compatible with the single-box endpoint).
+func (c *Coordinator) RunSimulate(ctx context.Context, req server.SimulateRequest, seed uint64, noCache bool) (server.SimulateResponse, cellOutcome, error) {
+	spec := rcache.CellSpec{
+		Config: req.Config, Workload: req.Workload, Workload2: req.Workload2,
+		Seed: seed, Instructions: req.Instructions,
+	}
+	out, err := c.runCell(ctx, spec, noCache)
+	if err != nil {
+		return server.SimulateResponse{}, cellOutcome{}, err
+	}
+	snap, sum, err := server.Summarize(spec, out.stats)
+	if err != nil {
+		return server.SimulateResponse{}, cellOutcome{}, err
+	}
+	c.cellsDone.Add(1)
+	if out.cached {
+		c.cellsCached.Add(1)
+	}
+	resp := server.SimulateResponse{
+		Config:       req.Config,
+		Workload:     req.Workload,
+		Workload2:    req.Workload2,
+		Seed:         seed,
+		Instructions: sum.Instructions,
+		Branches:     sum.Branches,
+		Cycles:       sum.Cycles,
+		MPKI:         sum.MPKI,
+		IPC:          sum.IPC,
+		Accuracy:     sum.Accuracy,
+	}
+	if req.FullStats {
+		resp.Stats = snap
+	}
+	return resp, out, nil
+}

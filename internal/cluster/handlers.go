@@ -1,0 +1,551 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"zbp/internal/jobs"
+	"zbp/internal/server"
+)
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON matches the single-box service's rendering (indented, two
+// spaces) so sync responses are byte-compatible across the two.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (c *Coordinator) fail(w http.ResponseWriter, status int, err error) {
+	c.failed.Add(1)
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decode parses a size-limited JSON body, answering 400/413 exactly
+// like the single-box service so clients see one surface.
+func (c *Coordinator) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			c.fail(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			c.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		}
+		return false
+	}
+	return true
+}
+
+// admit charges the token bucket one token per cell. On refusal it
+// writes a 429 whose Retry-After is the larger of the bucket's refill
+// horizon and the fleet's estimated time-to-capacity, clamped to
+// [1s, 60s] — an honest hint, not a fixed number.
+func (c *Coordinator) admit(w http.ResponseWriter, cells int) bool {
+	if c.bucket == nil {
+		return true
+	}
+	ok, wait := c.bucket.take(float64(cells))
+	if ok {
+		return true
+	}
+	c.rejected.Add(1)
+	secs := wait.Seconds()
+	if fw := c.fleetWaitSeconds(); fw > secs {
+		secs = fw
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(clampSeconds(secs)))
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "fleet admission limit reached, retry later"})
+	return false
+}
+
+func clampSeconds(s float64) int {
+	n := int(math.Ceil(s))
+	if n < 1 {
+		n = 1
+	}
+	if n > 60 {
+		n = 60
+	}
+	return n
+}
+
+// requestContext bounds a sync request: client disconnect plus the
+// request's own timeout, clamped to the coordinator's maximum.
+func (c *Coordinator) requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	timeout := c.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		timeout = time.Duration(timeoutMs) * time.Millisecond
+		if timeout > c.cfg.MaxTimeout {
+			timeout = c.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// replyCellError maps a fleet-dispatch failure onto a status: the
+// deadline is the client's (504), cancellation is theirs too (503),
+// anything else means the fleet let us down (502).
+func (c *Coordinator) replyCellError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		c.failed.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded: " + err.Error()})
+	case errors.Is(err, context.Canceled):
+		c.canceled.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request canceled: " + err.Error()})
+	default:
+		c.failed.Add(1)
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+	}
+}
+
+// --- sync endpoints ---------------------------------------------------
+
+func (c *Coordinator) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	c.requests.Add(1)
+	var req server.SimulateRequest
+	if !c.decode(w, r, &req) {
+		return
+	}
+	seed, err := c.normalizeSimulate(&req)
+	if err != nil {
+		c.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if !c.admit(w, 1) {
+		return
+	}
+	ctx, cancel := c.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	resp, _, err := c.RunSimulate(ctx, req, seed, false)
+	if err != nil {
+		c.replyCellError(w, err)
+		return
+	}
+	c.completed.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	c.requests.Add(1)
+	var req server.SweepRequest
+	if !c.decode(w, r, &req) {
+		return
+	}
+	cells, err := c.normalizeSweep(&req)
+	if err != nil {
+		c.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if !c.admit(w, cells) {
+		return
+	}
+	ctx, cancel := c.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	resp, err := c.RunSweep(ctx, req, false, nil)
+	if err != nil {
+		c.replyCellError(w, err)
+		return
+	}
+	c.completed.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- async jobs -------------------------------------------------------
+
+// coordJobSpec is a validated, default-filled job plan.
+type coordJobSpec struct {
+	kind     string
+	simulate server.SimulateRequest
+	sweep    server.SweepRequest
+	diff     server.DiffRequest
+	seed     uint64
+	cells    int
+	noCache  bool
+}
+
+func (c *Coordinator) planJob(req *server.JobRequest) (coordJobSpec, error) {
+	set := 0
+	if req.Simulate != nil {
+		set++
+	}
+	if req.Sweep != nil {
+		set++
+	}
+	if req.Diff != nil {
+		set++
+	}
+	if set != 1 {
+		return coordJobSpec{}, fmt.Errorf("need exactly one of simulate/sweep/diff payloads, have %d", set)
+	}
+	spec := coordJobSpec{noCache: req.NoCache}
+	switch {
+	case req.Simulate != nil:
+		if req.Kind != "" && req.Kind != "simulate" {
+			return coordJobSpec{}, fmt.Errorf("kind %q does not match the simulate payload", req.Kind)
+		}
+		seed, err := c.normalizeSimulate(req.Simulate)
+		if err != nil {
+			return coordJobSpec{}, err
+		}
+		spec.kind, spec.simulate, spec.seed, spec.cells = "simulate", *req.Simulate, seed, 1
+	case req.Sweep != nil:
+		if req.Kind != "" && req.Kind != "sweep" {
+			return coordJobSpec{}, fmt.Errorf("kind %q does not match the sweep payload", req.Kind)
+		}
+		cells, err := c.normalizeSweep(req.Sweep)
+		if err != nil {
+			return coordJobSpec{}, err
+		}
+		spec.kind, spec.sweep, spec.cells = "sweep", *req.Sweep, cells
+	default:
+		if req.Kind != "" && req.Kind != "diff" {
+			return coordJobSpec{}, fmt.Errorf("kind %q does not match the diff payload", req.Kind)
+		}
+		seed, cells, err := c.normalizeDiff(req.Diff)
+		if err != nil {
+			return coordJobSpec{}, err
+		}
+		spec.kind, spec.diff, spec.seed, spec.cells = "diff", *req.Diff, seed, cells
+	}
+	return spec, nil
+}
+
+func (c *Coordinator) normalizeDiff(req *server.DiffRequest) (uint64, int, error) {
+	if len(req.Configs) == 0 {
+		req.Configs = []string{"z15"}
+	}
+	seed := uint64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	if req.Instructions == 0 {
+		req.Instructions = c.cfg.DefaultInstructions
+	}
+	if req.Instructions < 0 || req.Instructions > c.cfg.MaxInstructions {
+		return 0, 0, fmt.Errorf("instructions %d out of range [1, %d]", req.Instructions, c.cfg.MaxInstructions)
+	}
+	cells := len(req.Configs) * len(req.Workloads)
+	if cells == 0 {
+		return 0, 0, errors.New("empty diff grid: need workloads")
+	}
+	if cells > c.cfg.MaxSweepCells {
+		return 0, 0, fmt.Errorf("diff grid has %d cells, limit %d", cells, c.cfg.MaxSweepCells)
+	}
+	if err := validateWorkloads(req.Workloads...); err != nil {
+		return 0, 0, err
+	}
+	return seed, cells, nil
+}
+
+func (c *Coordinator) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	c.requests.Add(1)
+	if c.baseCtx.Err() != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "coordinator shutting down"})
+		return
+	}
+	var req server.JobRequest
+	if !c.decode(w, r, &req) {
+		return
+	}
+	spec, err := c.planJob(&req)
+	if err != nil {
+		c.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if !c.admit(w, spec.cells) {
+		return
+	}
+	j, err := c.jobs.Create(spec.kind, spec.cells)
+	if err != nil {
+		c.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(clampSeconds(c.fleetWaitSeconds())))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "job table full, retry later"})
+		return
+	}
+	c.jobsSubmitted.Add(1)
+
+	timeout := c.cfg.MaxTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+		if timeout > c.cfg.MaxTimeout {
+			timeout = c.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(c.baseCtx, timeout)
+	j.SetCancel(cancel)
+	c.wg.Add(1)
+	go c.runJob(ctx, cancel, j, spec)
+
+	w.Header().Set("Location", "/v1/jobs/"+j.ID())
+	writeJSON(w, http.StatusCreated, j.Snapshot())
+}
+
+func (c *Coordinator) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	c.requests.Add(1)
+	j, ok := c.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such job (unknown ID or evicted after TTL)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (c *Coordinator) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	c.requests.Add(1)
+	j, ok := c.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such job (unknown ID or evicted after TTL)"})
+		return
+	}
+	j.Cancel(c.cfg.now(), "canceled by client")
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+// handleJobEvents streams history-then-live JSONL exactly like the
+// single-box service: pull-based cursor reads, no lock held across a
+// network write, park on a capacity-1 notify channel.
+func (c *Coordinator) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	c.requests.Add(1)
+	j, ok := c.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such job (unknown ID or evicted after TTL)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	ch := j.Subscribe()
+	defer j.Unsubscribe(ch)
+	cursor := 0
+	for {
+		lines, terminal := j.EventsSince(cursor)
+		cursor += len(lines)
+		for _, line := range lines {
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte("\n")); err != nil {
+				return
+			}
+		}
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// --- job execution ----------------------------------------------------
+
+func (c *Coordinator) runJob(ctx context.Context, cancel context.CancelFunc, j *jobs.Job, spec coordJobSpec) {
+	defer c.wg.Done()
+	defer cancel()
+	if !j.Start(c.cfg.now()) {
+		return
+	}
+	var (
+		result []byte
+		err    error
+	)
+	switch spec.kind {
+	case "simulate":
+		result, err = c.runSimulateJob(ctx, j, spec)
+	case "sweep":
+		result, err = c.runSweepJob(ctx, j, spec)
+	case "diff":
+		result, err = c.runDiffJob(ctx, j, spec)
+	default:
+		err = fmt.Errorf("unknown job kind %q", spec.kind)
+	}
+	if err != nil {
+		c.finishJob(j, err)
+		return
+	}
+	c.completed.Add(1)
+	j.Finish(c.cfg.now(), jobs.Done, "", result)
+}
+
+func (c *Coordinator) finishJob(j *jobs.Job, err error) {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		c.canceled.Add(1)
+		j.Finish(c.cfg.now(), jobs.Canceled, err.Error(), nil)
+	default:
+		c.failed.Add(1)
+		j.Finish(c.cfg.now(), jobs.Failed, err.Error(), nil)
+	}
+}
+
+func (c *Coordinator) runSimulateJob(ctx context.Context, j *jobs.Job, spec coordJobSpec) ([]byte, error) {
+	resp, out, err := c.RunSimulate(ctx, spec.simulate, spec.seed, spec.noCache)
+	if err != nil {
+		return nil, err
+	}
+	j.CellDone(out.cached)
+	j.Publish(CellEvent{
+		Type: "cell", Index: 0, Done: 1, Total: 1,
+		Config: resp.Config, Workload: resp.Workload, Workload2: resp.Workload2,
+		Seed: resp.Seed, Cached: out.cached, Backend: out.backend, Hedged: out.hedged,
+		Instructions: resp.Instructions, Cycles: resp.Cycles,
+		MPKI: resp.MPKI, IPC: resp.IPC, Accuracy: resp.Accuracy,
+		RunSecondsEWMA: c.fleetEWMASeconds(),
+	})
+	return json.Marshal(resp)
+}
+
+func (c *Coordinator) runSweepJob(ctx context.Context, j *jobs.Job, spec coordJobSpec) ([]byte, error) {
+	resp, err := c.RunSweep(ctx, spec.sweep, spec.noCache, func(ev CellEvent) {
+		if ev.Error == "" {
+			j.CellDone(ev.Cached)
+		}
+		j.Publish(ev)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Compact marshal: byte-identical to the single-box job result.
+	return json.Marshal(resp)
+}
+
+// DiffCellEvent mirrors the single-box diff_cell progress line.
+type DiffCellEvent struct {
+	Type     string `json:"type"` // "diff_cell"
+	Index    int    `json:"index"`
+	Done     int    `json:"done"`
+	Total    int    `json:"total"`
+	Config   string `json:"config"`
+	Workload string `json:"workload"`
+	Seed     uint64 `json:"seed"`
+	Checks   int    `json:"checks"`
+	OK       bool   `json:"ok"`
+	Findings int    `json:"findings"`
+	Error    string `json:"error,omitempty"`
+}
+
+// runDiffJob forwards the diff grid to one backend as a sync request
+// — the differential harness recomputes on purpose, so there is
+// nothing to shard or cache — retrying on the next backend if the
+// chosen one fails.
+func (c *Coordinator) runDiffJob(ctx context.Context, j *jobs.Job, spec coordJobSpec) ([]byte, error) {
+	req := spec.diff
+	// The job's ctx is the real deadline; give the backend's own sync
+	// clamp as much room as it allows.
+	req.TimeoutMs = int(c.cfg.MaxTimeout / time.Millisecond)
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	cands := c.healthyBackends()
+	start := int(c.rr.Add(1) - 1)
+	var lastErr error
+	for k := range cands {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		b := cands[(start+k)%len(cands)]
+		resp, permanent, ferr := c.forwardDiff(ctx, b, body)
+		if ferr != nil {
+			lastErr = ferr
+			if permanent {
+				return nil, ferr
+			}
+			continue
+		}
+		for i, dc := range resp.Cells {
+			j.CellDone(false)
+			j.Publish(DiffCellEvent{
+				Type: "diff_cell", Index: i, Done: i + 1, Total: len(resp.Cells),
+				Config: dc.Config, Workload: dc.Workload, Seed: dc.Seed,
+				Checks: dc.Checks, OK: dc.OK, Findings: len(dc.Findings), Error: dc.Error,
+			})
+		}
+		return json.Marshal(resp)
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return nil, fmt.Errorf("diff failed on every backend: %w", lastErr)
+}
+
+func (c *Coordinator) forwardDiff(ctx context.Context, b *backend, body []byte) (*server.DiffResponse, bool, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/diff", bytes.NewReader(body))
+	if err != nil {
+		return nil, true, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.noteBackendFailure(b)
+		}
+		return nil, false, fmt.Errorf("backend %s: %w", b.name, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		c.noteBackendSuccess(b)
+		var dr server.DiffResponse
+		if derr := json.NewDecoder(io.LimitReader(resp.Body, maxCellResponseBytes)).Decode(&dr); derr != nil {
+			return nil, false, fmt.Errorf("backend %s: undecodable diff response: %w", b.name, derr)
+		}
+		return &dr, false, nil
+	case resp.StatusCode == http.StatusBadRequest:
+		return nil, true, fmt.Errorf("backend %s rejected diff: %s", b.name, readError(resp.Body))
+	default:
+		c.noteBackendFailure(b)
+		return nil, false, fmt.Errorf("backend %s: %s: %s", b.name, resp.Status, readError(resp.Body))
+	}
+}
+
+// --- introspection ----------------------------------------------------
+
+// HealthResponse is the coordinator's GET /healthz body: its own role
+// plus one row per backend with the last scraped load snapshot.
+type HealthResponse struct {
+	Status   string          `json:"status"`
+	Role     string          `json:"role"`
+	Router   string          `json:"router"`
+	Backends []BackendStatus `json:"backends"`
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok", Role: "coordinator", Router: c.router.name()}
+	for _, b := range c.backends {
+		resp.Backends = append(resp.Backends, b.status())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := c.reg.Snapshot().WritePrometheus(w); err != nil {
+		return
+	}
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zbp/internal/rcache"
+	"zbp/internal/server"
+)
+
+func testBackends(t *testing.T, urls ...string) []*backend {
+	t.Helper()
+	out := make([]*backend, len(urls))
+	for i, u := range urls {
+		b, err := newBackend(u, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// TestRouteKeyMatchesCacheKey pins the no-drift invariant: the router
+// hashes exactly the bytes the result cache addresses by, including
+// default canonicalization. If RouteKey ever diverges from
+// rcache.NewKey, rendezvous routing silently loses cache affinity —
+// this test makes that loud.
+func TestRouteKeyMatchesCacheKey(t *testing.T) {
+	specs := []rcache.CellSpec{
+		{Workload: "loops", Seed: 42, Instructions: 1_000_000},
+		{Config: "z14", Workload: "micro", Seed: 7, Instructions: 50_000},
+		{Config: "z15", Workload: "lspr", Workload2: "micro", Seed: 1, Instructions: 250_000},
+	}
+	for _, spec := range specs {
+		rk, ck := RouteKey(spec), rcache.NewKey(spec)
+		if rk.String() != ck.String() || rk.Hash64() != ck.Hash64() {
+			t.Errorf("spec %+v: route key %q (%x) != cache key %q (%x)",
+				spec, rk.String(), rk.Hash64(), ck.String(), ck.Hash64())
+		}
+	}
+	// Default canonicalization is shared too: an empty config routes
+	// exactly like the explicit default, because the cache stores them
+	// under one address.
+	imp := RouteKey(rcache.CellSpec{Workload: "loops", Seed: 42, Instructions: 1000})
+	exp := RouteKey(rcache.CellSpec{Config: "z15", Workload: "loops", Seed: 42, Instructions: 1000})
+	if imp.Hash64() != exp.Hash64() {
+		t.Error("default-filled and explicit z15 specs route differently")
+	}
+}
+
+func TestRendezvousStability(t *testing.T) {
+	bs := testBackends(t, "http://a:1", "http://b:1", "http://c:1", "http://d:1")
+	r := rendezvousRouter{}
+	key := RouteKey(rcache.CellSpec{Workload: "loops", Seed: 3, Instructions: 1000}).Hash64()
+
+	first := r.order(key, bs)
+	second := r.order(key, bs)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("order not deterministic at %d", i)
+		}
+	}
+	// Removing the winner must not reshuffle anyone else: the
+	// survivors keep their relative order, so only the dead backend's
+	// cells migrate.
+	without := make([]*backend, 0, 3)
+	for _, b := range bs {
+		if b != first[0] {
+			without = append(without, b)
+		}
+	}
+	reordered := r.order(key, without)
+	for i := range reordered {
+		if reordered[i] != first[i+1] {
+			t.Errorf("survivor order changed at %d: %s != %s", i, reordered[i].name, first[i+1].name)
+		}
+	}
+}
+
+func TestRendezvousSpread(t *testing.T) {
+	bs := testBackends(t, "http://a:1", "http://b:1", "http://c:1", "http://d:1")
+	r := rendezvousRouter{}
+	counts := map[string]int{}
+	for seed := uint64(0); seed < 200; seed++ {
+		key := RouteKey(rcache.CellSpec{Workload: "loops", Seed: seed, Instructions: 1000}).Hash64()
+		counts[r.order(key, bs)[0].name]++
+	}
+	for _, b := range bs {
+		if counts[b.name] < 20 {
+			t.Errorf("backend %s got %d/200 primaries; hashing is badly skewed: %v", b.name, counts[b.name], counts)
+		}
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	bs := testBackends(t, "http://a:1", "http://b:1", "http://c:1")
+	var rr atomic.Uint64
+	r := roundRobinRouter{rr: &rr}
+	seen := map[string]bool{}
+	for range 3 {
+		seen[r.order(0, bs)[0].name] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("3 consecutive orders used %d distinct primaries, want 3", len(seen))
+	}
+}
+
+func TestLeastLoadedPrefersIdle(t *testing.T) {
+	bs := testBackends(t, "http://busy:1", "http://idle:1")
+	bs[0].load.Store(&server.Health{Workers: 1, QueueDepth: 10, Inflight: 1, RunSecondsEWMA: 1})
+	bs[1].load.Store(&server.Health{Workers: 4, QueueDepth: 0, Inflight: 0, RunSecondsEWMA: 0.01})
+	var rr atomic.Uint64
+	r := leastLoadedRouter{rr: &rr}
+	for i := range 4 {
+		if got := r.order(0, bs)[0].name; got != "idle:1" {
+			t.Fatalf("round %d routed to %s, want the idle backend", i, got)
+		}
+	}
+}
+
+func TestNewRouterUnknown(t *testing.T) {
+	var rr atomic.Uint64
+	if _, err := newRouter("zigzag", &rr); err == nil {
+		t.Error("unknown router name accepted")
+	}
+}
+
+func TestBucket(t *testing.T) {
+	clock := time.Unix(0, 0)
+	now := func() time.Time { return clock }
+	b := newBucket(10, 5, now) // 10 tokens/s, burst 5
+
+	if ok, _ := b.take(5); !ok {
+		t.Fatal("full bucket refused its burst")
+	}
+	ok, wait := b.take(1)
+	if ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Errorf("refill hint %v, want ~100ms", wait)
+	}
+	clock = clock.Add(500 * time.Millisecond) // +5 tokens
+	if ok, _ := b.take(5); !ok {
+		t.Error("bucket did not refill with time")
+	}
+	clock = clock.Add(time.Hour)
+	if got := b.available(); got != 5 {
+		t.Errorf("bucket overfilled past capacity: %v", got)
+	}
+}

@@ -101,6 +101,13 @@ func (k Key) String() string { return k.canonical }
 // Hash returns the 16-hex-digit content hash (the disk file stem).
 func (k Key) Hash() string { return fmt.Sprintf("%016x", k.hash) }
 
+// Hash64 returns the raw 64-bit content hash. The cluster
+// coordinator's rendezvous router mixes it against backend identities
+// so identical cells always land on the backend whose result cache
+// already holds them — router and cache share this one key
+// definition, which TestRouteKeyMatchesCacheKey pins.
+func (k Key) Hash64() uint64 { return k.hash }
+
 // Config sizes a Cache. The zero value is a usable memory-only cache
 // with production-lean defaults.
 type Config struct {

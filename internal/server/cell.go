@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"zbp/internal/rcache"
+)
+
+// POST /v1/cell: the cluster coordinator's backend protocol. One
+// deterministic cell in, its canonical stats JSON out, routed through
+// the content-addressed result cache. The contract that makes fleet
+// scheduling simple lives here:
+//
+//   - A cache hit (memory, disk, or coalesced onto an identical
+//     in-flight compute) is served without consuming a queue slot, so
+//     warm cells cost microseconds no matter how saturated the box is
+//     — the property rendezvous routing exists to exploit.
+//   - A miss takes one bounded-queue slot exactly like a sync
+//     simulate; a full queue answers 429 with the same derived
+//     Retry-After, which the coordinator treats as a reroute signal.
+//   - The response is the canonical stats payload (the bytes the
+//     equiv auditor re-derives), so any replica — or a hedged
+//     duplicate — returns byte-identical content and the coordinator
+//     needs no reconciliation logic.
+
+// CellRequest is the POST /v1/cell body: a simulate request plus the
+// cache-bypass knob jobs already expose.
+type CellRequest struct {
+	SimulateRequest
+	// NoCache forces recomputation and skips the result cache on both
+	// read and write.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// CellResponse is the POST /v1/cell reply.
+type CellResponse struct {
+	// Cached reports that no simulation ran for this request.
+	Cached bool `json:"cached"`
+	// Stats is the canonical schema-versioned stats JSON for the cell.
+	Stats json.RawMessage `json:"stats"`
+}
+
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req CellRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	seed, err := s.normalizeSimulate(&req.SimulateRequest)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	cell := rcache.CellSpec{
+		Config: req.Config, Workload: req.Workload, Workload2: req.Workload2,
+		Seed: seed, Instructions: req.Instructions,
+	}
+	// Misses acquire a queue slot around the compute; hits bypass the
+	// queue entirely.
+	compute := func(ctx context.Context) ([]byte, error) {
+		var (
+			b    []byte
+			cerr error
+		)
+		if submitErr := s.enqueue(ctx, func(ctx context.Context) {
+			b, cerr = s.computeCellStats(ctx, cell)
+		}); submitErr != nil {
+			return nil, submitErr
+		}
+		if cerr == nil && ctx.Err() != nil {
+			// Skipped while queued: the deadline beat the workers to it.
+			cerr = ctx.Err()
+		}
+		return b, cerr
+	}
+	stats, cached, err := s.cachedCellVia(ctx, cell, req.NoCache, compute)
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "job queue full, retry later"})
+		return
+	case errors.Is(err, errShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
+		return
+	case err != nil:
+		s.replyRunError(w, err)
+		return
+	}
+	s.completed.Add(1)
+	writeJSON(w, http.StatusOK, CellResponse{Cached: cached, Stats: stats})
+}

@@ -354,7 +354,7 @@ func (s *Server) runSimulateJob(ctx context.Context, j *jobs.Job, spec jobSpec) 
 		return nil, err
 	}
 	j.CellDone(cached)
-	snap, sum, err := summarize(cell, stats)
+	snap, sum, err := Summarize(cell, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -401,9 +401,9 @@ func (s *Server) runSweepJob(ctx context.Context, j *jobs.Job, spec jobSpec) ([]
 					row.Error = err.Error()
 					resp.Errors++
 					s.sweepCellErrors.Add(1)
-					s.publishCell(j, i, total, cell, false, cellSummary{}, row.Error)
+					s.publishCell(j, i, total, cell, false, CellSummary{}, row.Error)
 				default:
-					_, sum, serr := summarize(cell, stats)
+					_, sum, serr := Summarize(cell, stats)
 					if serr != nil {
 						return nil, serr
 					}
@@ -453,7 +453,7 @@ func (s *Server) runDiffJob(ctx context.Context, j *jobs.Job, spec jobSpec) ([]b
 }
 
 // publishCell emits one cell progress event.
-func (s *Server) publishCell(j *jobs.Job, i, total int, cell rcache.CellSpec, cached bool, sum cellSummary, errMsg string) {
+func (s *Server) publishCell(j *jobs.Job, i, total int, cell rcache.CellSpec, cached bool, sum CellSummary, errMsg string) {
 	j.Publish(cellEvent{
 		Type: "cell", Index: i, Done: i + 1, Total: total,
 		Config: cell.Config, Workload: cell.Workload, Workload2: cell.Workload2,
@@ -465,26 +465,41 @@ func (s *Server) publishCell(j *jobs.Job, i, total int, cell rcache.CellSpec, ca
 	})
 }
 
+// computeCellStats runs one cell's simulation and renders the
+// canonical stats JSON — the bytes the result cache stores and the
+// equiv auditor re-derives. Truncated results are an error: a partial
+// run is neither cacheable nor a valid sweep row.
+func (s *Server) computeCellStats(ctx context.Context, cell rcache.CellSpec) ([]byte, error) {
+	res, err := s.runCellSim(ctx, cell)
+	if err != nil {
+		return nil, err
+	}
+	if res.Truncated {
+		return nil, errors.New("truncated result is not cacheable")
+	}
+	s.instructions.Add(res.Instructions())
+	if res.FastCore {
+		s.fastCoreRuns.Add(1)
+	}
+	return res.StatsJSON()
+}
+
 // cachedCell returns the canonical stats JSON for one cell, serving
 // from the content-addressed cache when possible. cached reports that
 // no simulation ran for this call (memory/disk hit or coalesced onto
 // a concurrent identical compute). Sampled hits are handed to the
-// background equiv auditor.
+// background equiv auditor. The caller already holds a queue slot, so
+// misses compute directly.
 func (s *Server) cachedCell(ctx context.Context, cell rcache.CellSpec, noCache bool) ([]byte, bool, error) {
-	compute := func(ctx context.Context) ([]byte, error) {
-		res, err := s.runCellSim(ctx, cell)
-		if err != nil {
-			return nil, err
-		}
-		if res.Truncated {
-			return nil, errors.New("truncated result is not cacheable")
-		}
-		s.instructions.Add(res.Instructions())
-		if res.FastCore {
-			s.fastCoreRuns.Add(1)
-		}
-		return res.StatsJSON()
-	}
+	return s.cachedCellVia(ctx, cell, noCache, func(ctx context.Context) ([]byte, error) {
+		return s.computeCellStats(ctx, cell)
+	})
+}
+
+// cachedCellVia is cachedCell with the miss path abstracted: the jobs
+// runner computes in its own queue slot, while /v1/cell acquires a
+// slot per miss (so cache hits never consume queue capacity).
+func (s *Server) cachedCellVia(ctx context.Context, cell rcache.CellSpec, noCache bool, compute func(ctx context.Context) ([]byte, error)) ([]byte, bool, error) {
 	if noCache {
 		b, err := compute(ctx)
 		return b, false, err
@@ -500,11 +515,14 @@ func (s *Server) cachedCell(ctx context.Context, cell rcache.CellSpec, noCache b
 	return v, hit, nil
 }
 
-// cellSummary is the headline numbers reconstructed from a cached
+// CellSummary is the headline numbers reconstructed from a canonical
 // stats payload — the cache stores only the canonical stats JSON (the
 // byte-exact form the equiv auditor re-derives), so API rows are a
-// pure function of it.
-type cellSummary struct {
+// pure function of it. Exported because the cluster coordinator
+// derives its aggregate rows from backend-returned stats through this
+// same function; sharing it is what makes a fleet sweep byte-identical
+// to a single-box one.
+type CellSummary struct {
 	Instructions int64
 	Branches     int64
 	Cycles       int64
@@ -513,14 +531,14 @@ type cellSummary struct {
 	Accuracy     float64
 }
 
-// summarize decodes a stats payload into its snapshot and headline
-// numbers.
-func summarize(cell rcache.CellSpec, stats []byte) (*metrics.Snapshot, cellSummary, error) {
+// Summarize decodes a canonical stats payload into its snapshot and
+// headline numbers.
+func Summarize(cell rcache.CellSpec, stats []byte) (*metrics.Snapshot, CellSummary, error) {
 	var snap metrics.Snapshot
 	if err := json.Unmarshal(stats, &snap); err != nil {
-		return nil, cellSummary{}, fmt.Errorf("cell %v: undecodable stats payload: %w", cell, err)
+		return nil, CellSummary{}, fmt.Errorf("cell %v: undecodable stats payload: %w", cell, err)
 	}
-	return &snap, cellSummary{
+	return &snap, CellSummary{
 		Instructions: int64(snap.Gauges["sim.instructions"]),
 		Branches:     int64(snap.Gauges["sim.branches"]),
 		Cycles:       snap.Counters["sim.cycles"],

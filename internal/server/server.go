@@ -9,6 +9,7 @@
 //
 //	POST   /v1/simulate          one run: config preset + workload + seed + budget
 //	POST   /v1/sweep             a small parameter grid, one result row per cell
+//	POST   /v1/cell              one cell through the result cache (coordinator protocol)
 //	POST   /v1/jobs              submit an async simulate/sweep/diff job
 //	GET    /v1/jobs/{id}         job status, per-cell progress, result when done
 //	GET    /v1/jobs/{id}/events  JSONL progress stream (live + replayed history)
@@ -244,6 +245,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/cell", s.handleCell)
 	s.mux.HandleFunc("POST /v1/diff", s.handleDiff)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -654,13 +656,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// Health is the GET /healthz body: liveness plus the load signals a
+// cluster coordinator's least-loaded router needs, as cheap JSON — no
+// Prometheus text parsing on the polling path. /metrics stays the
+// complete (and unchanged) surface; this is the hot subset.
+type Health struct {
+	Status        string `json:"status"`
+	Workers       int    `json:"workers"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Inflight      int64  `json:"inflight"`
+	// RunSecondsEWMA is the smoothed per-queue-slot task duration; a
+	// coordinator multiplies it by queue occupancy to estimate wait.
+	RunSecondsEWMA float64 `json:"run_seconds_ewma"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"workers":        s.cfg.Workers,
-		"queue_depth":    s.q.depth(),
-		"queue_capacity": s.cfg.QueueDepth,
-		"inflight":       s.inflight.Load(),
+	writeJSON(w, http.StatusOK, Health{
+		Status:         "ok",
+		Workers:        s.cfg.Workers,
+		QueueDepth:     s.q.depth(),
+		QueueCapacity:  s.cfg.QueueDepth,
+		Inflight:       s.inflight.Load(),
+		RunSecondsEWMA: time.Duration(s.runNanosEWMA.Load()).Seconds(),
 	})
 }
 

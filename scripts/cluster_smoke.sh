@@ -1,0 +1,163 @@
+#!/bin/sh
+# cluster_smoke.sh — boot a coordinator over two real zbpd backends,
+# run the same sweep twice, and prove the fleet behaves: the job
+# completes on the first pass, the repeat is served almost entirely
+# from the backends' result caches (rendezvous routing sends each cell
+# back to the backend that computed it), and everything drains cleanly
+# on SIGTERM. Used by `make cluster-smoke` and CI. No jq: responses
+# are picked apart with grep/sed.
+set -eu
+
+B1="127.0.0.1:18961"
+B2="127.0.0.1:18962"
+CO="127.0.0.1:18963"
+TMP="$(mktemp -d)"
+BIN="$TMP/zbpd"
+LOG1="$TMP/backend1.log"
+LOG2="$TMP/backend2.log"
+LOGC="$TMP/coord.log"
+
+cleanup() {
+    for p in "${CPID:-}" "${PID1:-}" "${PID2:-}"; do
+        [ -n "$p" ] && kill "$p" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/zbpd
+
+"$BIN" -addr "$B1" -workers 2 -cache-dir "$TMP/cache1" >"$LOG1" 2>&1 &
+PID1=$!
+"$BIN" -addr "$B2" -workers 2 -cache-dir "$TMP/cache2" >"$LOG2" 2>&1 &
+PID2=$!
+
+wait_healthy() {
+    i=0
+    until curl -sf "http://$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "cluster-smoke: $2 never became healthy" >&2
+            cat "$3" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+wait_healthy "$B1" "backend 1" "$LOG1"
+wait_healthy "$B2" "backend 2" "$LOG2"
+
+"$BIN" -coordinator -backends "http://$B1,http://$B2" -addr "$CO" >"$LOGC" 2>&1 &
+CPID=$!
+wait_healthy "$CO" "coordinator" "$LOGC"
+
+curl -sf "http://$CO/healthz" | grep -q '"role": "coordinator"' || {
+    echo "cluster-smoke: coordinator healthz missing role" >&2
+    curl -sf "http://$CO/healthz" >&2
+    exit 1
+}
+echo "cluster-smoke: coordinator + 2 backends healthy"
+
+metric() {
+    curl -sf "http://$1/metrics" | grep "^$2" | sed 's/.* //'
+}
+
+SWEEP='{"sweep":{"workloads":["loops","micro"],"seeds":[1,2],"instructions":100000}}'
+CELLS=4
+
+submit_and_wait() {
+    CREATED=$(curl -sf -X POST "http://$CO/v1/jobs" -d "$1")
+    JOB=$(echo "$CREATED" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+    [ -n "$JOB" ] || {
+        echo "cluster-smoke: no job ID in submit response: $CREATED" >&2
+        exit 1
+    }
+    i=0
+    while :; do
+        STATUS=$(curl -sf "http://$CO/v1/jobs/$JOB")
+        echo "$STATUS" | grep -q '"state": "done"' && break
+        echo "$STATUS" | grep -qE '"state": "(failed|canceled)"' && {
+            echo "cluster-smoke: job $JOB did not finish cleanly: $STATUS" >&2
+            exit 1
+        }
+        i=$((i + 1))
+        if [ "$i" -gt 300 ]; then
+            echo "cluster-smoke: job $JOB never finished: $STATUS" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+# Cold pass: the grid is sharded over both backends and computed.
+submit_and_wait "$SWEEP"
+echo "cluster-smoke: cold sweep job $JOB done"
+
+EVENTS=$(curl -sf "http://$CO/v1/jobs/$JOB/events")
+echo "$EVENTS" | grep -q '"type":"cell"' || {
+    echo "cluster-smoke: event stream has no cell events: $EVENTS" >&2
+    exit 1
+}
+echo "$EVENTS" | grep -q '"backend"' || {
+    echo "cluster-smoke: cell events carry no backend attribution: $EVENTS" >&2
+    exit 1
+}
+echo "cluster-smoke: event stream ok (cells attributed to backends)"
+
+HITS1_BEFORE=$(metric "$B1" zbpd_cache_hits_total)
+HITS2_BEFORE=$(metric "$B2" zbpd_cache_hits_total)
+
+# Warm pass: rendezvous routing must send each cell back to the
+# backend that computed it, so >=90% of the grid is served from the
+# backends' result caches.
+submit_and_wait "$SWEEP"
+echo "cluster-smoke: warm sweep job $JOB done"
+
+curl -sf "http://$CO/v1/jobs/$JOB" | grep -q "\"cells_cached\": $CELLS" || {
+    echo "cluster-smoke: warm sweep was not fully cache-served" >&2
+    curl -sf "http://$CO/v1/jobs/$JOB" >&2
+    exit 1
+}
+HITS1_AFTER=$(metric "$B1" zbpd_cache_hits_total)
+HITS2_AFTER=$(metric "$B2" zbpd_cache_hits_total)
+awk -v a1="$HITS1_BEFORE" -v a2="$HITS2_BEFORE" \
+    -v b1="$HITS1_AFTER" -v b2="$HITS2_AFTER" -v cells="$CELLS" \
+    'BEGIN { exit !((b1 - a1) + (b2 - a2) >= cells * 0.9) }' || {
+    echo "cluster-smoke: backend cache hits rose by $((HITS1_AFTER - HITS1_BEFORE + HITS2_AFTER - HITS2_BEFORE)) of $CELLS cells, want >=90%" >&2
+    exit 1
+}
+echo "cluster-smoke: warm pass >=90% cache-served (backend hits $HITS1_BEFORE+$HITS2_BEFORE -> $HITS1_AFTER+$HITS2_AFTER)"
+
+# The coordinator's own counters must agree.
+COORD_CACHED=$(metric "$CO" zbpd_coord_cells_cached_total)
+awk -v c="$COORD_CACHED" -v cells="$CELLS" 'BEGIN { exit !(c >= cells) }' || {
+    echo "cluster-smoke: coordinator cached-cell counter $COORD_CACHED below $CELLS" >&2
+    exit 1
+}
+
+# SIGTERM everything: coordinator first, then backends; all must exit 0.
+stop() {
+    kill -TERM "$2"
+    i=0
+    while kill -0 "$2" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "cluster-smoke: $1 did not exit after SIGTERM" >&2
+            cat "$3" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    wait "$2" 2>/dev/null || {
+        echo "cluster-smoke: $1 exited non-zero after SIGTERM" >&2
+        cat "$3" >&2
+        exit 1
+    }
+}
+stop coordinator "$CPID" "$LOGC"
+CPID=""
+stop "backend 1" "$PID1" "$LOG1"
+PID1=""
+stop "backend 2" "$PID2" "$LOG2"
+PID2=""
+echo "cluster-smoke: graceful shutdown ok"
