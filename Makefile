@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench bench-smoke bench-allocs bench-nsinstr bench-json exp race cover fuzz golden serve serve-smoke jobs-smoke diff-smoke cluster-smoke staticcheck
+.PHONY: all build test vet bench bench-smoke bench-allocs bench-nsinstr bench-json exp race cover fuzz golden golden-wchar serve serve-smoke jobs-smoke diff-smoke cluster-smoke zwork-smoke staticcheck
 
 all: build vet test
 
@@ -51,6 +51,7 @@ cover:
 fuzz:
 	go test ./internal/trace -run '^$$' -fuzz '^FuzzReadTrace$$' -fuzztime 30s
 	go test ./internal/trace -run '^$$' -fuzz '^FuzzRecordRoundTrip$$' -fuzztime 30s
+	go test ./internal/trace -run '^$$' -fuzz '^FuzzIngest$$' -fuzztime 30s
 	go test ./internal/equiv -run '^$$' -fuzz '^FuzzEquivCell$$' -fuzztime 30s
 
 # Differential equivalence harness smoke: a small clean grid must show
@@ -62,6 +63,11 @@ diff-smoke:
 # Refresh the golden stats snapshots after an intentional model change.
 golden:
 	go test ./internal/sim -run Golden -update
+
+# Refresh the golden characterization sidecars after an intentional
+# generator or characterization change.
+golden-wchar:
+	go test ./internal/wchar -run Golden -update
 
 # Run the simulation service locally.
 serve:
@@ -83,6 +89,13 @@ jobs-smoke:
 # routing, and the whole fleet must drain on SIGTERM. Wired into CI.
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
+
+# External-trace pipeline smoke: generate -> export -> re-ingest ->
+# characterize -> simulate (zsim and zbpd -trace-dir), requiring a
+# lossless conversion round trip and identical local/served stats.
+# Wired into CI.
+zwork-smoke:
+	sh scripts/zwork_smoke.sh
 
 # Static analysis beyond go vet; staticcheck is installed on demand in
 # CI (go run pins the version without touching go.mod).

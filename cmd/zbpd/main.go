@@ -6,6 +6,7 @@
 // Usage:
 //
 //	zbpd -addr :8347 -workers 4 -queue 16 -cache-dir /var/cache/zbpd
+//	zbpd -trace-dir /data/traces   # allow {"workload":"file:prog.zbpt"} requests
 //
 //	curl -s localhost:8347/v1/simulate -d '{"workload":"lspr","config":"z15","instructions":1000000}'
 //	curl -s localhost:8347/v1/sweep -d '{"configs":["z14","z15"],"workloads":["lspr","micro"]}'
@@ -74,6 +75,7 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "directory for the persistent result cache (empty = memory only)")
 		cacheDisk  = flag.Int64("cache-disk-bytes", 1<<30, "on-disk result cache bound")
 		auditEvery = flag.Int("audit-every", 16, "recompute every Nth cache hit through the equiv auditor (negative disables)")
+		traceDir   = flag.String("trace-dir", "", "allow file:/spec: workloads confined to this directory (empty disables)")
 
 		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator instead of a simulation backend")
 		backends    = flag.String("backends", "", "comma-separated backend base URLs (coordinator mode)")
@@ -138,6 +140,7 @@ func main() {
 			CacheDir:            *cacheDir,
 			CacheDiskBytes:      *cacheDisk,
 			AuditEvery:          *auditEvery,
+			TraceDir:            *traceDir,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "zbpd:", err)

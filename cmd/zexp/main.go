@@ -41,6 +41,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = all cores); results are identical at any setting")
 		mat      = flag.Bool("materialize", true, "materialize each workload once and replay packed buffers across all sweep points (identical results, less work)")
 		statsDir = flag.String("stats-dir", "", "serialize every simulation's stats snapshot (JSON) into this directory")
+		wls      = flag.String("workloads", "", "comma-separated workload override for the mpki experiment (names, file:<path>, spec:<path>)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -115,7 +116,7 @@ func main() {
 	for _, e := range selected {
 		t0 := time.Now()
 		opts := exp.Options{W: os.Stdout, Scale: *scale, Seed: *seed, Seeds: *seeds,
-			Parallelism: *parallel, Mat: mz}
+			Parallelism: *parallel, Mat: mz, Workloads: splitList(*wls)}
 		if *statsDir != "" {
 			opts = opts.WithStats(*statsDir, e.ID)
 		}
@@ -127,4 +128,15 @@ func main() {
 			mz.Count(), float64(mz.FootprintBytes())/(1<<20))
 	}
 	fmt.Printf("\nall done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// splitList parses a comma-separated flag into its non-empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
 }

@@ -2,33 +2,91 @@
 //
 // Usage:
 //
-//	ztrace -workload lspr -n 1000000 -o lspr.zbpt   # generate
-//	ztrace -in lspr.zbpt                            # summarize
+//	ztrace -workload lspr -n 1000000 -o lspr.zbpt    # generate
+//	ztrace -in lspr.zbpt                             # summarize
+//	ztrace -in prog.champsim -o prog.zbpt            # convert (ingest)
+//	ztrace -in lspr.zbpt -o lspr.champsim            # convert (export)
+//
+// Formats are inferred from file extensions (.zbpt is the native
+// codec; .champsim/.champsimtrace is the ChampSim 64-byte record
+// format); -format overrides the inference for the input. Conflicting
+// flag sets — -in together with -workload or -seed — are rejected
+// rather than silently resolved.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"zbp/internal/trace"
 	"zbp/internal/workload"
 )
 
+// mode is what one ztrace invocation does; decideMode picks it from
+// which flags the user actually set.
+type mode int
+
+const (
+	modeInMemory  mode = iota // generate and summarize without a file
+	modeGenerate              // workload -> trace file
+	modeSummarize             // trace file -> stats
+	modeConvert               // trace file -> trace file
+)
+
+// decideMode maps the set flags to a mode, rejecting conflicting
+// combinations instead of letting one flag silently win (historically
+// `-in a.zbpt -o b.zbpt` summarized a and wrote nothing).
+func decideMode(inSet, outSet, wlSet, seedSet bool) (mode, error) {
+	if inSet && (wlSet || seedSet) {
+		return 0, fmt.Errorf("ztrace: -in reads an existing trace; it conflicts with -workload/-seed (drop one side)")
+	}
+	switch {
+	case inSet && outSet:
+		return modeConvert, nil
+	case inSet:
+		return modeSummarize, nil
+	case outSet:
+		return modeGenerate, nil
+	default:
+		return modeInMemory, nil
+	}
+}
+
 func main() {
 	var (
-		wl   = flag.String("workload", "lspr", "workload name")
-		n    = flag.Int("n", 1_000_000, "records to generate")
-		out  = flag.String("o", "", "output trace file (generate mode)")
-		in   = flag.String("in", "", "input trace file (summarize mode)")
-		seed = flag.Uint64("seed", 42, "workload seed")
+		wl     = flag.String("workload", "lspr", "workload name")
+		n      = flag.Int("n", 1_000_000, "records to generate (or cap when reading)")
+		out    = flag.String("o", "", "output trace file (generate/convert mode)")
+		in     = flag.String("in", "", "input trace file (summarize/convert mode)")
+		seed   = flag.Uint64("seed", 42, "workload seed")
+		format = flag.String("format", "", "input format override: zbpt or champsim (default: by extension)")
 	)
 	flag.Parse()
 
-	switch {
-	case *in != "":
-		summarize(*in)
-	case *out != "":
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	m, err := decideMode(set["in"], set["o"], set["workload"], set["seed"])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// In the reading modes -n is a cap, applied only when explicitly
+	// set: the generate-mode default of 1M must not silently truncate a
+	// larger input file.
+	readCap := 0
+	if set["n"] {
+		readCap = *n
+	}
+	switch m {
+	case modeConvert:
+		convert(*in, *out, *format, readCap)
+	case modeSummarize:
+		summarize(*in, *format, readCap)
+	case modeGenerate:
 		generate(*wl, *seed, *n, *out)
 	default:
 		// Generate and summarize in memory.
@@ -37,6 +95,83 @@ func main() {
 			fatal(err)
 		}
 		printStats(*wl, trace.Collect(src, *n))
+	}
+}
+
+// inFormat resolves the input format from the override flag or the
+// file extension.
+func inFormat(path, override string) (string, error) {
+	switch override {
+	case "zbpt", "champsim":
+		return override, nil
+	case "":
+	default:
+		return "", fmt.Errorf("unknown -format %q (want zbpt or champsim)", override)
+	}
+	switch filepath.Ext(path) {
+	case ".champsim", ".champsimtrace":
+		return "champsim", nil
+	default:
+		return "zbpt", nil
+	}
+}
+
+// loadInput decodes the input trace in either format into the packed
+// form (every record validated once), capped at max records (<=0
+// means all).
+func loadInput(path, override string, max int) (*trace.Packed, error) {
+	f, err := inFormat(path, override)
+	if err != nil {
+		return nil, err
+	}
+	if f == "champsim" {
+		p, st, err := trace.IngestChampSimFile(path, max)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("ingested %d champsim records -> %d z records (%d pads, %d glue branches, %d dropped)\n",
+			st.Records, st.Emitted, st.Pads, st.Glue, st.Dropped)
+		return p, nil
+	}
+	p, err := trace.LoadPackedFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if max > 0 && p.Len() > max {
+		cur := p.CursorN(max)
+		return trace.Pack(&cur, max)
+	}
+	return p, nil
+}
+
+// convert re-encodes the input trace into the format the output
+// extension names.
+func convert(in, out, format string, max int) {
+	p, err := loadInput(in, format, max)
+	if err != nil {
+		fatal(err)
+	}
+	switch filepath.Ext(out) {
+	case ".champsim", ".champsimtrace":
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		cur := p.Cursor()
+		wrote, err := trace.ExportChampSim(f, &cur, 0)
+		if err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d champsim records to %s\n", wrote, out)
+	default:
+		if err := p.WriteFile(out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d records to %s\n", p.Len(), out)
 	}
 }
 
@@ -54,15 +189,20 @@ func generate(wl string, seed uint64, n int, path string) {
 	if err != nil {
 		fatal(err)
 	}
+	// Guard the per-record average: an empty trace (n=0, or a dry
+	// source) must print 0, not +Inf.
+	perRec := 0.0
+	if p.Len() > 0 {
+		perRec = float64(st.Size()) / float64(p.Len())
+	}
 	fmt.Printf("wrote %d records to %s (%.2f bytes/record, %.1f MB packed in memory)\n",
-		p.Len(), path, float64(st.Size())/float64(p.Len()),
-		float64(p.SizeBytes())/(1<<20))
+		p.Len(), path, perRec, float64(p.SizeBytes())/(1<<20))
 }
 
 // summarize round-trips the file through the packed form — a single
 // sequential decode — and reports from the in-memory buffer.
-func summarize(path string) {
-	p, err := trace.LoadPackedFile(path)
+func summarize(path, format string, max int) {
+	p, err := loadInput(path, format, max)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,70 @@
+package main
+
+import "testing"
+
+// TestDecideMode pins the flag-conflict contract: -in with -workload
+// or -seed is an error (historically -in silently won and the
+// generation flags were ignored), and each unambiguous combination
+// maps to its mode.
+func TestDecideMode(t *testing.T) {
+	cases := []struct {
+		name                       string
+		inSet, outSet, wlSet, seed bool
+		want                       mode
+		wantErr                    bool
+	}{
+		{name: "bare run", want: modeInMemory},
+		{name: "workload only", wlSet: true, want: modeInMemory},
+		{name: "generate", outSet: true, wlSet: true, seed: true, want: modeGenerate},
+		{name: "summarize", inSet: true, want: modeSummarize},
+		{name: "convert", inSet: true, outSet: true, want: modeConvert},
+		{name: "in vs workload", inSet: true, wlSet: true, wantErr: true},
+		{name: "in vs seed", inSet: true, seed: true, wantErr: true},
+		{name: "convert vs workload", inSet: true, outSet: true, wlSet: true, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := decideMode(tc.inSet, tc.outSet, tc.wlSet, tc.seed)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("conflict accepted, resolved to mode %d", m)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m != tc.want {
+				t.Fatalf("mode = %d, want %d", m, tc.want)
+			}
+		})
+	}
+}
+
+// TestInFormat pins extension inference and the override.
+func TestInFormat(t *testing.T) {
+	cases := []struct {
+		path, override, want string
+		wantErr              bool
+	}{
+		{path: "a.zbpt", want: "zbpt"},
+		{path: "a.champsim", want: "champsim"},
+		{path: "a.champsimtrace", want: "champsim"},
+		{path: "a.bin", want: "zbpt"},
+		{path: "a.bin", override: "champsim", want: "champsim"},
+		{path: "a.champsim", override: "zbpt", want: "zbpt"},
+		{path: "a.zbpt", override: "sqlite", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := inFormat(tc.path, tc.override)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("inFormat(%q, %q) accepted", tc.path, tc.override)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("inFormat(%q, %q) = %q, %v; want %q", tc.path, tc.override, got, err, tc.want)
+		}
+	}
+}

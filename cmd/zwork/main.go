@@ -1,0 +1,173 @@
+// Command zwork characterizes workload branch predictability: taken
+// rate, transition rate, local-history entropy, and the
+// hard-to-predict (H2P) branch population under a cheap reference
+// predictor. It accepts the same workload names the whole stack does —
+// preset generators, `file:<path>` trace files (.zbpt or ChampSim
+// format), and `spec:<path>` workload mixes.
+//
+// Usage:
+//
+//	zwork -workload lspr -n 1000000                 # one workload, table to stdout
+//	zwork -workload file:payroll.zbpt -json out.json
+//	zwork -all -json-dir charout/                   # every preset generator
+//
+// Reports are schema-versioned sidecar JSON (internal/wchar): the
+// simulator's golden stats schema is untouched.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"zbp/internal/metrics"
+	"zbp/internal/wchar"
+	"zbp/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "lspr", "workload name, file:<path>, or spec:<path>")
+		n       = flag.Int("n", 1_000_000, "records to characterize")
+		seed    = flag.Uint64("seed", 42, "workload seed (ignored by file-backed workloads)")
+		topN    = flag.Int("top", 20, "H2P list length")
+		jsonOut = flag.String("json", "", "write the sidecar JSON report to this file (- for stdout)")
+		jsonDir = flag.String("json-dir", "", "with -all, write one sidecar per workload into this directory")
+		all     = flag.Bool("all", false, "characterize every preset generator")
+	)
+	flag.Parse()
+
+	cfg := wchar.Config{TopN: *topN}
+	if *all {
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		tab := metrics.NewTable("workload", "branches", "taken", "transition", "entropy", "ref acc", "ref MPKI", "H2P share")
+		for _, name := range workload.Names() {
+			rep, err := characterize(name, *seed, *n, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			tab.Row(name, rep.Branches,
+				fmt.Sprintf("%.3f", rep.TakenRate),
+				fmt.Sprintf("%.3f", rep.TransitionRate),
+				fmt.Sprintf("%.3f", rep.HistoryEntropy),
+				fmt.Sprintf("%.4f", rep.RefAccuracy),
+				fmt.Sprintf("%.2f", rep.RefMPKI),
+				fmt.Sprintf("%.2f", h2pShare(rep)))
+			if *jsonDir != "" {
+				if err := writeReport(rep, filepath.Join(*jsonDir, sanitize(name)+".json")); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		tab.Render(os.Stdout)
+		return
+	}
+
+	rep, err := characterize(*wl, *seed, *n, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut != "" {
+		if err := writeReport(rep, *jsonOut); err != nil {
+			fatal(err)
+		}
+		if *jsonOut != "-" {
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return
+	}
+	printReport(rep)
+}
+
+// characterize runs the wchar pass over n records of the named
+// workload and stamps the report's identity fields.
+func characterize(name string, seed uint64, n int, cfg wchar.Config) (*wchar.Report, error) {
+	src, err := workload.Make(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep := wchar.Characterize(src, n, cfg)
+	rep.Workload = name
+	rep.Seed = seed
+	return rep, nil
+}
+
+// h2pShare is the mispredict fraction concentrated in the H2P list —
+// the "a few branches cause most of the damage" headline number.
+func h2pShare(rep *wchar.Report) float64 {
+	share := 0.0
+	for _, e := range rep.H2P {
+		share += e.MispredictShare
+	}
+	return share
+}
+
+func writeReport(rep *wchar.Report, path string) error {
+	if path == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func printReport(rep *wchar.Report) {
+	fmt.Printf("workload %s (seed %d):\n", rep.Workload, rep.Seed)
+	fmt.Printf("  instructions     %d\n", rep.Instructions)
+	fmt.Printf("  branches         %d (%d conditional, %d indirect, %d static)\n",
+		rep.Branches, rep.Conditional, rep.Indirect, rep.StaticBranches)
+	fmt.Printf("  code footprint   %d x 64B lines\n", rep.FootprintLines)
+	fmt.Printf("  context switches %d\n", rep.CtxSwitches)
+	fmt.Printf("  taken rate       %.3f\n", rep.TakenRate)
+	fmt.Printf("  transition rate  %.3f\n", rep.TransitionRate)
+	fmt.Printf("  history entropy  %.3f bits/outcome\n", rep.HistoryEntropy)
+	fmt.Printf("  reference        %s: accuracy %.4f, MPKI %.2f (%d mispredicts)\n",
+		rep.RefPredictor, rep.RefAccuracy, rep.RefMPKI, rep.RefMispredicts)
+	if len(rep.H2P) == 0 {
+		fmt.Println("  no mispredicting branches under the reference predictor")
+		return
+	}
+	fmt.Printf("\ntop %d hard-to-predict branches (%.1f%% of all mispredicts):\n",
+		len(rep.H2P), 100*h2pShare(rep))
+	tab := metrics.NewTable("addr", "kind", "execs", "taken", "transitions", "mispredicts", "accuracy", "entropy", "share")
+	for _, e := range rep.H2P {
+		tab.Row(e.Addr, e.Kind, e.Execs,
+			fmt.Sprintf("%.3f", e.TakenRate), e.Transitions, e.Mispredicts,
+			fmt.Sprintf("%.4f", e.Accuracy), fmt.Sprintf("%.3f", e.Entropy),
+			fmt.Sprintf("%.3f", e.MispredictShare))
+	}
+	tab.Render(os.Stdout)
+}
+
+// sanitize maps a workload name to a filesystem-safe token (file: and
+// spec: names contain separators).
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zwork:", err)
+	os.Exit(1)
+}

@@ -516,6 +516,13 @@ func validateWorkloads(names ...string) error {
 		if name == "" {
 			continue
 		}
+		// Path-backed workloads (file:/spec:) pass through: each backend
+		// enforces its own -trace-dir allowlist, and the router keys by
+		// content digest when the coordinator can read the file, by name
+		// otherwise (stable either way).
+		if workload.PathBacked(name) {
+			continue
+		}
 		if _, ok := reg[name]; !ok {
 			return fmt.Errorf("unknown workload %q (have %v)", name, workload.Names())
 		}

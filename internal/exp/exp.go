@@ -45,6 +45,11 @@ type Options struct {
 	// as <id>-b<batch>-j<job>-<name>.json, so experiment runs can be
 	// diffed in CI. The directory must exist.
 	StatsDir string
+	// Workloads, when non-empty, overrides the headline MPKI
+	// experiment's workload list. Any name the stack accepts works,
+	// including file:<path> traces and spec:<path> mixes — the hook for
+	// running the generational comparison over ingested external traces.
+	Workloads []string
 	// Mat, when non-nil, enables the materialize-once pipeline: each
 	// (workload, seed, scale) is generated and packed a single time —
 	// shared across every experiment handed the same Materializer — and

@@ -209,6 +209,9 @@ func E7MPKI(o Options) {
 	e, _ := ByID("mpki")
 	header(o.W, e)
 	names := []string{"lspr", "lspr-large", "micro", "mixed"}
+	if len(o.Workloads) > 0 {
+		names = o.Workloads
+	}
 	if o.seeds() > 1 {
 		fmt.Fprintf(o.W, "averaging over %d workload seeds per cell.\n\n", o.seeds())
 	}

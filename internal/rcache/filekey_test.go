@@ -1,0 +1,72 @@
+package rcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"zbp/internal/workload"
+)
+
+// TestFileWorkloadKeyedByDigest is the cache-staleness regression
+// test at the key layer: a file-backed workload's cache address is its
+// content digest, so editing the file's bytes — same path, same name —
+// must move the key, while a byte-identical rewrite must not.
+func TestFileWorkloadKeyedByDigest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.zbpt")
+	p, err := workload.MakePacked("loops", 7, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	spec := CellSpec{Config: "z15", Workload: workload.FilePrefix + path, Seed: 42, Instructions: 1000}
+
+	k1 := NewKey(spec)
+	k1b := NewKey(spec)
+	if k1 != k1b {
+		t.Fatalf("same bytes hashed to different keys:\n %s\n %s", k1, k1b)
+	}
+
+	// Rewrite with identical bytes: key must be stable (it addresses
+	// content, not mtime).
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if k := NewKey(spec); k != k1 {
+		t.Fatalf("byte-identical rewrite moved the key:\n %s\n %s", k1, k)
+	}
+
+	// Swap the content under the same path: the key must move, or a
+	// simulate against the new trace would serve the old trace's stats.
+	p2, err := workload.MakePacked("loops", 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if k := NewKey(spec); k == k1 {
+		t.Fatal("editing the trace file did not change the cache key: stale results would be served")
+	}
+}
+
+// TestFileWorkloadKeyUnreadable: an unreadable file degrades to
+// name-based keying rather than failing key construction — safe
+// because the simulation itself will fail and failed computes are
+// never cached.
+func TestFileWorkloadKeyUnreadable(t *testing.T) {
+	name := workload.FilePrefix + filepath.Join(t.TempDir(), "absent.zbpt")
+	spec := CellSpec{Config: "z15", Workload: name, Seed: 42, Instructions: 1000}
+	k1 := NewKey(spec)
+	k2 := NewKey(spec)
+	if k1 != k2 {
+		t.Fatal("unreadable-file keying is not deterministic")
+	}
+}

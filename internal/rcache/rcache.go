@@ -30,6 +30,7 @@ import (
 
 	"zbp/internal/hashx"
 	"zbp/internal/metrics"
+	"zbp/internal/workload"
 )
 
 // FormatVersion identifies the cache entry layout (the meaning of the
@@ -60,12 +61,37 @@ type CellSpec struct {
 	Instructions int
 }
 
-// canonicalized fills defaults so equivalent specs render identically.
+// canonicalized fills defaults so equivalent specs render identically,
+// and resolves workload names to their content identity: a file-backed
+// workload (file:/spec: form) canonicalizes to its SHA-256 content
+// digest, so the same name over edited bytes is a *different* key —
+// without this, a mutable trace file would silently serve stale cached
+// results (and stale cluster routing via RouteKey). Generator names
+// are their own identity and render unchanged.
+//
+// An unresolvable identity (unreadable file) falls back to the raw
+// name: the compute for such a spec fails too, and failed computes are
+// never cached, so nothing can be stored — or served — under the
+// fallback key. Coordinators routing cells for files they don't hold
+// locally degrade the same way, to stable name-based routing.
 func (s CellSpec) canonicalized() CellSpec {
 	if s.Config == "" {
 		s.Config = "z15"
 	}
+	s.Workload = workloadIdentity(s.Workload)
+	s.Workload2 = workloadIdentity(s.Workload2)
 	return s
+}
+
+func workloadIdentity(name string) string {
+	if !workload.PathBacked(name) {
+		return name
+	}
+	id, err := workload.SpecID(name)
+	if err != nil {
+		return name
+	}
+	return id
 }
 
 // Key is the content address of one cell's result bytes: a canonical

@@ -82,7 +82,7 @@ func (s *Server) normalizeDiff(req *DiffRequest) (uint64, int, error) {
 			return 0, 0, err
 		}
 	}
-	if err := s.validateWorkloads(req.Workloads...); err != nil {
+	if err := s.resolveWorkloads(sliceRefs(req.Workloads)...); err != nil {
 		return 0, 0, err
 	}
 	known := map[string]bool{}

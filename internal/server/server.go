@@ -32,8 +32,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,6 +106,14 @@ type Config struct {
 	// detector). 0 means the default of 16; negative disables
 	// auditing. Default: 16.
 	AuditEvery int
+
+	// TraceDir, when set, allows file-backed workload names (file:<path>
+	// and spec:<path>) in requests: paths resolve relative to this
+	// directory and every referenced file — including files a spec
+	// document points at — must stay inside it. Empty (the default)
+	// rejects path-backed names entirely: a network request must never
+	// make the server read arbitrary local files.
+	TraceDir string
 
 	// now supplies the clock for the job table; tests swap in a fake
 	// to drive TTL eviction deterministically.
@@ -221,6 +231,14 @@ func New(cfg Config) (*Server, error) {
 		mz:  workload.NewMaterializer(),
 	}
 	var err error
+	if s.cfg.TraceDir != "" {
+		// Absolutize once so the containment check in resolveTracePath is
+		// a plain prefix comparison regardless of the server's cwd.
+		s.cfg.TraceDir, err = filepath.Abs(s.cfg.TraceDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: trace dir: %w", err)
+		}
+	}
 	s.cache, err = rcache.New(rcache.Config{
 		MaxMemBytes:  s.cfg.CacheMemBytes,
 		Dir:          s.cfg.CacheDir,
@@ -427,7 +445,7 @@ func (s *Server) normalizeSimulate(req *SimulateRequest) (uint64, error) {
 	if _, err := core.ByName(req.Config); err != nil {
 		return 0, err
 	}
-	if err := s.validateWorkloads(req.Workload, req.Workload2); err != nil {
+	if err := s.resolveWorkloads(&req.Workload, &req.Workload2); err != nil {
 		return 0, err
 	}
 	if req.Instructions < 0 || req.Instructions > s.cfg.MaxInstructions {
@@ -548,7 +566,7 @@ func (s *Server) normalizeSweep(req *SweepRequest) (int, error) {
 	if cells > s.cfg.MaxSweepCells {
 		return 0, fmt.Errorf("sweep grid has %d cells, limit %d", cells, s.cfg.MaxSweepCells)
 	}
-	if err := s.validateWorkloads(req.Workloads...); err != nil {
+	if err := s.resolveWorkloads(sliceRefs(req.Workloads)...); err != nil {
 		return 0, err
 	}
 	for _, name := range req.Configs {
@@ -819,23 +837,91 @@ func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorResponse{Error: err.Error()})
 }
 
-// validateWorkloads rejects unknown workload names before a request
-// consumes a queue slot. Empty names in the tail (unset workload2) are
-// ignored, but the first name is required.
-func (s *Server) validateWorkloads(names ...string) error {
-	if len(names) == 0 || names[0] == "" {
+// resolveWorkloads validates workload names before a request consumes
+// a queue slot, rewriting them in place: generator names must be in the
+// registry, and path-backed names (file:/spec:) are gated on the
+// TraceDir allowlist and rewritten to their confined absolute form so
+// the cache, materializer, and audit all see one canonical name. Empty
+// names in the tail (unset workload2) are ignored, but the first name
+// is required.
+func (s *Server) resolveWorkloads(names ...*string) error {
+	if len(names) == 0 || *names[0] == "" {
 		return errors.New("missing workload")
 	}
 	reg := workload.Registry()
-	for _, name := range names {
-		if name == "" {
-			continue
-		}
-		if _, ok := reg[name]; !ok {
-			return fmt.Errorf("unknown workload %q (have %v)", name, workload.Names())
+	for _, np := range names {
+		name := *np
+		switch {
+		case name == "":
+		case workload.PathBacked(name):
+			resolved, err := s.resolveTraceName(name)
+			if err != nil {
+				return err
+			}
+			*np = resolved
+		default:
+			if _, ok := reg[name]; !ok {
+				return fmt.Errorf("unknown workload %q (have %v)", name, workload.Names())
+			}
 		}
 	}
 	return nil
+}
+
+// sliceRefs adapts a name slice for resolveWorkloads so rewrites land
+// back in the request.
+func sliceRefs(names []string) []*string {
+	refs := make([]*string, len(names))
+	for i := range names {
+		refs[i] = &names[i]
+	}
+	return refs
+}
+
+// resolveTraceName confines one path-backed workload name to the
+// TraceDir allowlist and returns it with the path absolutized. Spec
+// documents are additionally opened so every trace file they reference
+// is confined too — the spec itself being inside the directory does
+// not make its pointers trustworthy.
+func (s *Server) resolveTraceName(name string) (string, error) {
+	if s.cfg.TraceDir == "" {
+		return "", errors.New("file-backed workloads are disabled (start the server with a trace dir)")
+	}
+	prefix := workload.FilePrefix
+	if strings.HasPrefix(name, workload.SpecPrefix) {
+		prefix = workload.SpecPrefix
+	}
+	abs, err := s.resolveTracePath(name[len(prefix):])
+	if err != nil {
+		return "", err
+	}
+	if prefix == workload.SpecPrefix {
+		files, err := workload.SpecFiles(abs)
+		if err != nil {
+			return "", err
+		}
+		for _, f := range files {
+			if _, err := s.resolveTracePath(f); err != nil {
+				return "", err
+			}
+		}
+	}
+	return prefix + abs, nil
+}
+
+// resolveTracePath resolves ref against the trace dir (unless already
+// absolute) and rejects any result outside it, including `..` escapes
+// and absolute paths elsewhere.
+func (s *Server) resolveTracePath(ref string) (string, error) {
+	abs := ref
+	if !filepath.IsAbs(abs) {
+		abs = filepath.Join(s.cfg.TraceDir, abs)
+	}
+	abs = filepath.Clean(abs)
+	if abs != s.cfg.TraceDir && !strings.HasPrefix(abs, s.cfg.TraceDir+string(filepath.Separator)) {
+		return "", fmt.Errorf("trace path %q escapes the allowlisted trace directory", ref)
+	}
+	return abs, nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zbp/internal/workload"
+)
+
+// writeServerTrace materializes a small trace file into dir.
+func writeServerTrace(t *testing.T, dir, base string) string {
+	t.Helper()
+	p, err := workload.MakePacked("loops", 7, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, base)
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceDirDisabledByDefault: without -trace-dir, a file: workload
+// in a request is a 400, never a local file read.
+func TestTraceDirDisabledByDefault(t *testing.T) {
+	dir := t.TempDir()
+	writeServerTrace(t, dir, "t.zbpt")
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Workload:     "file:" + filepath.Join(dir, "t.zbpt"),
+		Instructions: 1000,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "disabled") {
+		t.Fatalf("unexpected error body: %s", body)
+	}
+}
+
+// TestTraceDirSimulate: with the allowlist configured, a relative
+// file: workload resolves inside it and simulates normally.
+func TestTraceDirSimulate(t *testing.T) {
+	dir := t.TempDir()
+	writeServerTrace(t, dir, "t.zbpt")
+	_, ts := newTestServer(t, Config{Workers: 1, TraceDir: dir})
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Workload:     "file:t.zbpt",
+		Instructions: 4000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out SimulateResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Instructions == 0 {
+		t.Fatal("file-backed simulation ran zero instructions")
+	}
+}
+
+// TestTraceDirEscapes: `..` escapes and absolute paths outside the
+// allowlisted directory are rejected even when the file exists.
+func TestTraceDirEscapes(t *testing.T) {
+	dir := t.TempDir()
+	outside := t.TempDir()
+	writeServerTrace(t, outside, "out.zbpt")
+	writeServerTrace(t, dir, "in.zbpt")
+	_, ts := newTestServer(t, Config{Workers: 1, TraceDir: dir})
+
+	for _, name := range []string{
+		"file:../" + filepath.Base(outside) + "/out.zbpt",
+		"file:" + filepath.Join(outside, "out.zbpt"),
+		"file:sub/../../escape.zbpt",
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+			Workload: name, Instructions: 1000,
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), "escapes") {
+			t.Errorf("%s: unexpected error body: %s", name, body)
+		}
+	}
+}
+
+// TestTraceDirSpecRefsConfined: a spec document inside the trace dir
+// cannot smuggle in references to files outside it.
+func TestTraceDirSpecRefsConfined(t *testing.T) {
+	dir := t.TempDir()
+	outside := t.TempDir()
+	writeServerTrace(t, outside, "out.zbpt")
+	doc := `{"version":1,"parts":[{"file":"` + filepath.Join(outside, "out.zbpt") + `"}]}`
+	if err := os.WriteFile(filepath.Join(dir, "mix.json"), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, TraceDir: dir})
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Workload: "spec:mix.json", Instructions: 1000,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "escapes") {
+		t.Fatalf("unexpected error body: %s", body)
+	}
+}
+
+// TestTraceDirSweep: sweeps accept confined file-backed workloads
+// alongside generators and resolve them to the same canonical names.
+func TestTraceDirSweep(t *testing.T) {
+	dir := t.TempDir()
+	writeServerTrace(t, dir, "t.zbpt")
+	_, ts := newTestServer(t, Config{Workers: 2, TraceDir: dir})
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Configs:      []string{"z15"},
+		Workloads:    []string{"loops", "file:t.zbpt"},
+		Instructions: 2000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out SweepResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Cells) != 2 || out.Errors != 0 {
+		t.Fatalf("sweep cells %d errors %d: %s", len(out.Cells), out.Errors, body)
+	}
+	// The resolved canonical name (absolute path under the trace dir)
+	// is what comes back in the grid.
+	want := "file:" + filepath.Join(dir, "t.zbpt")
+	found := false
+	for _, c := range out.Cells {
+		if c.Workload == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no cell carries the resolved name %q: %s", want, body)
+	}
+}

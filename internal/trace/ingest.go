@@ -1,0 +1,391 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"zbp/internal/zarch"
+)
+
+// This file is the external-trace adapter: a streaming decoder for the
+// ChampSim binary instruction-trace format that normalizes foreign
+// (x86-shaped) traces into valid z record streams.
+//
+// A ChampSim record is 64 bytes, little-endian:
+//
+//	ip                    uint64
+//	is_branch             uint8
+//	branch_taken          uint8
+//	destination_registers [2]uint8
+//	source_registers      [4]uint8
+//	destination_memory    [2]uint64
+//	source_memory         [4]uint64
+//
+// The branch kind is not stored explicitly; ChampSim's tracer encodes
+// it through register usage (reads/writes of the instruction pointer,
+// stack pointer and flags), and the decoder inverts that convention.
+//
+// Normalization. The simulator consumes records as architectural
+// ground truth and requires a *contiguous* stream: every record's
+// Next() (fallthrough or taken target) must be the following record's
+// address, and addresses/lengths must satisfy the z constraints
+// (halfword alignment, lengths in {2,4,6}). Foreign traces satisfy
+// neither, so the adapter rewrites the address space while preserving
+// the control-flow structure that matters to a branch predictor
+// (static branch identities, directions, target patterns):
+//
+//   - every instruction pointer is doubled (ip<<1), which makes every
+//     address halfword-aligned and keeps distinct IPs distinct;
+//   - instruction lengths are derived from the doubled sequential
+//     delta to the next record when it fits {2,4,6};
+//   - larger even gaps up to maxPadSpan are filled with synthetic
+//     non-branch pad instructions (straight-line code the original
+//     trace simply didn't annotate with lengths);
+//   - anything else — backward fallthrough, repeated IPs (x86 rep),
+//     filtered-trace discontinuities — is bridged with a synthetic
+//     taken unconditional "glue" branch, which is exactly what the
+//     hardware would have observed at such a discontinuity;
+//   - a taken branch's target is the next record's doubled IP;
+//   - an unconditional-looking branch observed not-taken (hostile or
+//     lossy input) is demoted to its conditional counterpart rather
+//     than rejected, since conditionality is the weaker claim.
+//
+// Synthetic records are counted in IngestStats so characterization
+// can report how much of a stream is adapter-fabricated.
+
+// champRecSize is the fixed ChampSim record size in bytes.
+const champRecSize = 64
+
+// ChampSim x86 register numbers used for branch-kind inference,
+// matching ChampSim's tracer constants.
+const (
+	champRegSP    = 6
+	champRegFlags = 25
+	champRegIP    = 26
+)
+
+// maxPadSpan bounds the sequential gap (in doubled address bytes) the
+// adapter fills with pad instructions; larger gaps get a glue branch.
+// 64 bytes covers doubled x86 instruction lengths (up to 15 bytes →
+// delta 30) and small skips without fabricating unbounded filler.
+const maxPadSpan = 64
+
+// IngestStats counts what the adapter did to one stream.
+type IngestStats struct {
+	// Records is the number of external records decoded.
+	Records int
+	// Emitted is the number of z records emitted for external records
+	// (excludes synthetic pads and glue).
+	Emitted int
+	// Pads is the number of synthetic non-branch filler instructions.
+	Pads int
+	// Glue is the number of synthetic unconditional bridge branches.
+	Glue int
+	// Dropped counts trailing records that could not be emitted (a
+	// final taken branch has no successor to derive its target from).
+	Dropped int
+}
+
+// champRec is one decoded external record.
+type champRec struct {
+	ip     uint64
+	branch bool
+	taken  bool
+	kind   zarch.BranchKind
+}
+
+// ChampSimReader streams a ChampSim-format trace as a Source of
+// normalized, validated z records. Like Reader, it is hardened
+// against hostile input: errors are reported via Err, truncated
+// records are rejected, and nothing is pre-allocated from
+// input-declared sizes (the format has none).
+type ChampSimReader struct {
+	r   io.Reader
+	err error
+	st  IngestStats
+
+	buf      [champRecSize]byte
+	prev     champRec
+	havePrev bool
+	eof      bool
+
+	queue   []Rec
+	qpos    int
+	cur     zarch.Addr // next sequential z address the stream expects
+	started bool
+}
+
+// NewChampSimReader returns a streaming decoder over r.
+func NewChampSimReader(r io.Reader) *ChampSimReader {
+	return &ChampSimReader{r: r}
+}
+
+// Err returns the first error encountered (nil at a clean end of
+// stream).
+func (c *ChampSimReader) Err() error { return c.err }
+
+// IngestStats returns the adapter counters accumulated so far.
+func (c *ChampSimReader) IngestStats() IngestStats { return c.st }
+
+// Next implements Source.
+func (c *ChampSimReader) Next() (Rec, bool) {
+	for {
+		if c.qpos < len(c.queue) {
+			r := c.queue[c.qpos]
+			c.qpos++
+			return r, true
+		}
+		c.queue = c.queue[:0]
+		c.qpos = 0
+		if c.err != nil || c.eof {
+			return Rec{}, false
+		}
+		rec, ok := c.readRec()
+		if c.err != nil {
+			return Rec{}, false
+		}
+		if !ok {
+			c.eof = true
+			if c.havePrev {
+				c.emit(c.prev, 0, false)
+				c.havePrev = false
+			}
+			continue
+		}
+		if !c.havePrev {
+			c.prev, c.havePrev = rec, true
+			continue
+		}
+		c.emit(c.prev, rec.ip, true)
+		c.prev = rec
+	}
+}
+
+// readRec decodes one external record, returning ok=false at a clean
+// end of stream and setting err on truncation or read failure.
+func (c *ChampSimReader) readRec() (champRec, bool) {
+	if _, err := io.ReadFull(c.r, c.buf[:]); err != nil {
+		if err == io.EOF {
+			return champRec{}, false
+		}
+		if err == io.ErrUnexpectedEOF {
+			c.err = fmt.Errorf("trace: champsim record %d truncated", c.st.Records)
+		} else {
+			c.err = err
+		}
+		return champRec{}, false
+	}
+	c.st.Records++
+	b := c.buf[:]
+	rec := champRec{
+		ip:     binary.LittleEndian.Uint64(b[0:8]),
+		branch: b[8] != 0,
+		taken:  b[9] != 0,
+	}
+	if rec.branch {
+		rec.kind = champKind(b[10:12], b[12:16])
+		// A not-taken unconditional branch is structurally invalid in a
+		// z trace; conditionality is the weaker claim, so demote.
+		if !rec.taken && !rec.kind.Conditional() {
+			if rec.kind.Indirect() {
+				rec.kind = zarch.KindCondInd
+			} else {
+				rec.kind = zarch.KindCondRel
+			}
+		}
+	} else {
+		rec.taken = false
+	}
+	return rec, true
+}
+
+// champKind inverts ChampSim's register-usage branch encoding.
+func champKind(dst, src []byte) zarch.BranchKind {
+	var readsSP, readsFlags, readsIP, readsOther bool
+	for _, r := range src {
+		switch r {
+		case 0:
+		case champRegSP:
+			readsSP = true
+		case champRegFlags:
+			readsFlags = true
+		case champRegIP:
+			readsIP = true
+		default:
+			readsOther = true
+		}
+	}
+	switch {
+	case readsFlags:
+		if readsOther || !readsIP {
+			return zarch.KindCondInd
+		}
+		return zarch.KindCondRel
+	case readsSP:
+		// Call or return; direct calls read the IP and nothing else.
+		if readsIP && !readsOther {
+			return zarch.KindUncondRel
+		}
+		return zarch.KindUncondInd
+	default:
+		if readsIP && !readsOther {
+			return zarch.KindUncondRel
+		}
+		return zarch.KindUncondInd
+	}
+}
+
+// emit queues the z records for one external instruction. nextIP is
+// the following external record's instruction pointer; known is false
+// only for the final record of the stream.
+func (c *ChampSimReader) emit(r champRec, nextIP uint64, known bool) {
+	zA := zarch.Addr(r.ip << 1)
+	if !c.started {
+		c.cur, c.started = zA, true
+	}
+	if c.cur != zA {
+		// Flow arrived somewhere the previous record's fallthrough
+		// didn't reach: bridge with a glue branch.
+		if zA == 0 {
+			c.err = fmt.Errorf("trace: champsim record %d: cannot bridge to address 0", c.st.Records)
+			return
+		}
+		c.push(NewRec(c.cur, 4, zarch.KindUncondRel, true, zA, 0))
+		c.st.Glue++
+		c.cur = zA
+	}
+
+	taken := r.branch && r.taken
+	var target zarch.Addr
+	if taken {
+		if !known {
+			// A final taken branch has no successor to name its target.
+			c.st.Dropped++
+			return
+		}
+		target = zarch.Addr(nextIP << 1)
+		if target == 0 {
+			c.err = fmt.Errorf("trace: champsim record %d: taken branch targets address 0", c.st.Records)
+			return
+		}
+	}
+
+	length := uint8(4)
+	var padBytes zarch.Addr
+	if known && !taken {
+		// Fallthrough flow: derive the length from the doubled delta,
+		// padding even gaps up to maxPadSpan; anything else keeps the
+		// default length and lets the next emit glue.
+		delta := zarch.Addr(nextIP<<1) - zA
+		switch {
+		case delta == 2 || delta == 4 || delta == 6:
+			length = uint8(delta)
+		case delta > 6 && delta <= maxPadSpan && delta%2 == 0:
+			length = 6
+			padBytes = delta - 6
+		}
+	}
+
+	kind := zarch.KindNone
+	if r.branch {
+		kind = r.kind
+	}
+	rec := NewRec(zA, length, kind, taken, target, 0)
+	if err := rec.Validate(); err != nil {
+		c.err = fmt.Errorf("trace: champsim record %d: %w", c.st.Records, err)
+		return
+	}
+	c.push(rec)
+	c.st.Emitted++
+	c.cur = rec.Next()
+	for padBytes > 0 {
+		chunk := padBytes
+		if chunk > 6 {
+			chunk = 6
+		}
+		c.push(NewRec(c.cur, uint8(chunk), zarch.KindNone, false, 0, 0))
+		c.st.Pads++
+		c.cur += chunk
+		padBytes -= chunk
+	}
+}
+
+func (c *ChampSimReader) push(r Rec) { c.queue = append(c.queue, r) }
+
+// IngestChampSim decodes a ChampSim-format stream into a validated
+// Packed buffer (up to max records; max <= 0 means unbounded), along
+// with the adapter counters. Decoding is strict: any malformed input
+// returns an error and no buffer.
+func IngestChampSim(r io.Reader, max int) (*Packed, IngestStats, error) {
+	cr := NewChampSimReader(r)
+	p, err := Pack(cr, max)
+	if err != nil {
+		return nil, cr.IngestStats(), err
+	}
+	if err := cr.Err(); err != nil {
+		return nil, cr.IngestStats(), err
+	}
+	return p, cr.IngestStats(), nil
+}
+
+// IngestChampSimFile reads the ChampSim trace file at path into a
+// Packed buffer.
+func IngestChampSimFile(path string, max int) (*Packed, IngestStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, IngestStats{}, err
+	}
+	defer f.Close()
+	p, st, err := IngestChampSim(f, max)
+	if err != nil {
+		return nil, st, fmt.Errorf("trace: ingesting %s: %w", path, err)
+	}
+	return p, st, nil
+}
+
+// ExportChampSim writes up to max records from src (max <= 0 means
+// until exhaustion) to w in the ChampSim binary record format,
+// inverting the ingest normalization: ip is the halved address and the
+// branch kind is encoded through the register-usage convention. The
+// export is lossy where the formats disagree: context IDs and exact
+// instruction lengths have no ChampSim representation (lengths are
+// re-derived from address deltas on ingest), and KindLoop flattens to
+// a conditional branch. Returns the number of records written.
+func ExportChampSim(w io.Writer, src Source, max int) (int, error) {
+	var buf [champRecSize]byte
+	n := 0
+	for max <= 0 || n < max {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		for i := range buf {
+			buf[i] = 0
+		}
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(r.Addr)>>1)
+		if r.IsBranch() {
+			buf[8] = 1
+			if r.Taken() {
+				buf[9] = 1
+			}
+			buf[10] = champRegIP // all branches write the IP
+			switch r.Kind() {
+			case zarch.KindCondRel, zarch.KindLoop:
+				buf[12], buf[13] = champRegIP, champRegFlags
+			case zarch.KindCondInd:
+				buf[12], buf[13] = champRegFlags, 1
+			case zarch.KindUncondRel:
+				buf[12] = champRegIP
+			case zarch.KindUncondInd:
+				buf[12] = 1
+			}
+		}
+		if _, err := w.Write(buf[:]); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,285 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"zbp/internal/zarch"
+)
+
+// champBytes encodes one ChampSim record for test inputs. The src
+// registers carry the branch-kind convention champKind inverts.
+func champBytes(ip uint64, branch, taken bool, src [4]byte) []byte {
+	var b [champRecSize]byte
+	binary.LittleEndian.PutUint64(b[0:8], ip)
+	if branch {
+		b[8] = 1
+	}
+	if taken {
+		b[9] = 1
+	}
+	copy(b[12:16], src[:])
+	return b[:]
+}
+
+// Shorthand source-register patterns for each branch kind.
+var (
+	srcCondRel   = [4]byte{champRegIP, champRegFlags}
+	srcCondInd   = [4]byte{champRegFlags, 1}
+	srcUncondRel = [4]byte{champRegIP}
+	srcUncondInd = [4]byte{1}
+	srcNone      = [4]byte{}
+)
+
+// TestIngestRoundTrip exports a native contiguous z stream to the
+// ChampSim format and re-ingests it: static branch identities,
+// directions, targets, and lengths must survive exactly, with zero
+// synthetic records fabricated. Lengths survive because on a z stream
+// they ARE the sequential address deltas the ingest derives them from.
+func TestIngestRoundTrip(t *testing.T) {
+	orig := []Rec{
+		NewRec(0x1000, 4, zarch.KindNone, false, 0, 0),
+		NewRec(0x1004, 2, zarch.KindCondRel, false, 0, 0),
+		NewRec(0x1006, 6, zarch.KindNone, false, 0, 0),
+		NewRec(0x100c, 4, zarch.KindCondRel, true, 0x2000, 0),
+		NewRec(0x2000, 4, zarch.KindUncondInd, true, 0x1000, 0),
+		NewRec(0x1000, 4, zarch.KindNone, false, 0, 0),
+		NewRec(0x1004, 2, zarch.KindCondRel, false, 0, 0),
+		// The final record carries the adapter's default length: with no
+		// successor there is no delta to re-derive a length from.
+		NewRec(0x1006, 4, zarch.KindNone, false, 0, 0),
+	}
+	var buf bytes.Buffer
+	if _, err := ExportChampSim(&buf, &sliceSource{recs: orig}, 0); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	p, st, err := IngestChampSim(&buf, 0)
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if st.Pads != 0 || st.Glue != 0 || st.Dropped != 0 {
+		t.Fatalf("round trip fabricated records: %+v", st)
+	}
+	if p.Len() != len(orig) {
+		t.Fatalf("got %d records, want %d", p.Len(), len(orig))
+	}
+	c := p.Cursor()
+	for i, want := range orig {
+		got, _ := c.Next()
+		if got != want {
+			t.Errorf("record %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestIngestContiguity feeds a foreign-shaped stream — odd addresses,
+// large sequential gaps, backward discontinuities, repeated IPs — and
+// checks the normalized output is a contiguous chain: every record's
+// Next() is the following record's address.
+func TestIngestContiguity(t *testing.T) {
+	var in bytes.Buffer
+	in.Write(champBytes(0x500, false, false, srcNone))  // odd-delta straight line
+	in.Write(champBytes(0x503, false, false, srcNone))  // +3 bytes (doubled: 6)
+	in.Write(champBytes(0x510, false, false, srcNone))  // +13: doubled 26 -> pads
+	in.Write(champBytes(0x510, false, false, srcNone))  // repeated IP (x86 rep) -> glue
+	in.Write(champBytes(0x200, false, false, srcNone))  // backward jump -> glue
+	in.Write(champBytes(0x204, true, true, srcCondRel)) // taken branch
+	in.Write(champBytes(0x900, false, false, srcNone))  // its target
+	in.Write(champBytes(0x904, false, false, srcNone))
+
+	p, st, err := IngestChampSim(&in, 0)
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if st.Pads == 0 {
+		t.Error("expected pad instructions for the 26-byte gap")
+	}
+	if st.Glue < 2 {
+		t.Errorf("expected glue for the repeat and the backward jump, got %d", st.Glue)
+	}
+	c := p.Cursor()
+	prev, ok := c.Next()
+	if !ok {
+		t.Fatal("empty output")
+	}
+	for i := 1; ; i++ {
+		r, ok := c.Next()
+		if !ok {
+			break
+		}
+		if prev.Next() != r.Addr {
+			t.Fatalf("record %d: discontinuity %v -> %v (prev %+v)", i, prev.Next(), r.Addr, prev)
+		}
+		prev = r
+	}
+}
+
+// TestIngestStatsCounts pins the adapter counters on a small
+// deterministic input.
+func TestIngestStatsCounts(t *testing.T) {
+	var in bytes.Buffer
+	in.Write(champBytes(0x100, false, false, srcNone))
+	in.Write(champBytes(0x102, false, false, srcNone))    // delta 2 -> doubled 4
+	in.Write(champBytes(0x110, false, false, srcNone))    // delta 14 -> doubled 28: 1 rec + pads
+	in.Write(champBytes(0x112, true, true, srcUncondInd)) // taken indirect
+	in.Write(champBytes(0x100, true, true, srcCondRel))   // final taken branch: dropped
+
+	p, st, err := IngestChampSim(&in, 0)
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	want := IngestStats{Records: 5, Emitted: 4, Pads: 4, Glue: 0, Dropped: 1}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+	// 4 external records emitted + 4 pads (28-6 = 22 bytes in 6,6,6,4).
+	if p.Len() != 8 {
+		t.Fatalf("output length %d, want 8", p.Len())
+	}
+}
+
+// TestIngestDemotion: a branch encoded unconditional but observed
+// not-taken is structurally invalid on z, so the adapter demotes it to
+// the conditional counterpart instead of rejecting the trace.
+func TestIngestDemotion(t *testing.T) {
+	cases := []struct {
+		src  [4]byte
+		want zarch.BranchKind
+	}{
+		{srcUncondRel, zarch.KindCondRel},
+		{srcUncondInd, zarch.KindCondInd},
+	}
+	for _, tc := range cases {
+		var in bytes.Buffer
+		in.Write(champBytes(0x100, true, false, tc.src))
+		in.Write(champBytes(0x102, false, false, srcNone))
+		in.Write(champBytes(0x104, false, false, srcNone))
+		p, _, err := IngestChampSim(&in, 0)
+		if err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+		c := p.Cursor()
+		r, ok := c.Next()
+		if !ok || r.Kind() != tc.want {
+			t.Errorf("src %v: kind = %v, want %v", tc.src, r.Kind(), tc.want)
+		}
+	}
+}
+
+// TestIngestKindInference pins the register-usage inversion for each
+// branch kind.
+func TestIngestKindInference(t *testing.T) {
+	cases := []struct {
+		src  [4]byte
+		want zarch.BranchKind
+	}{
+		{srcCondRel, zarch.KindCondRel},
+		{srcCondInd, zarch.KindCondInd},
+		{srcUncondRel, zarch.KindUncondRel},
+		{srcUncondInd, zarch.KindUncondInd},
+		{[4]byte{champRegSP, champRegIP}, zarch.KindUncondRel}, // direct call
+		{[4]byte{champRegSP}, zarch.KindUncondInd},             // return
+	}
+	for _, tc := range cases {
+		var in bytes.Buffer
+		in.Write(champBytes(0x100, true, true, tc.src))
+		in.Write(champBytes(0x200, false, false, srcNone))
+		in.Write(champBytes(0x202, false, false, srcNone))
+		p, _, err := IngestChampSim(&in, 0)
+		if err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+		c := p.Cursor()
+		r, ok := c.Next()
+		if !ok || r.Kind() != tc.want {
+			t.Errorf("src %v: kind = %v, want %v", tc.src, r.Kind(), tc.want)
+		}
+		if r.Target != 0x400 {
+			t.Errorf("src %v: target = %v, want 0x400 (doubled next ip)", tc.src, r.Target)
+		}
+	}
+}
+
+// TestIngestHostile pins the failure modes: truncation and flows into
+// address zero are errors, not panics or silently wrong streams.
+func TestIngestHostile(t *testing.T) {
+	t.Run("truncated record", func(t *testing.T) {
+		full := champBytes(0x100, false, false, srcNone)
+		_, _, err := IngestChampSim(bytes.NewReader(full[:champRecSize-1]), 0)
+		if err == nil {
+			t.Fatal("expected truncation error")
+		}
+	})
+	t.Run("truncated tail", func(t *testing.T) {
+		var in bytes.Buffer
+		in.Write(champBytes(0x100, false, false, srcNone))
+		in.Write(champBytes(0x102, false, false, srcNone)[:10])
+		_, _, err := IngestChampSim(&in, 0)
+		if err == nil {
+			t.Fatal("expected truncation error")
+		}
+	})
+	t.Run("taken branch targets zero", func(t *testing.T) {
+		var in bytes.Buffer
+		in.Write(champBytes(0x100, true, true, srcCondRel))
+		in.Write(champBytes(0, false, false, srcNone))
+		in.Write(champBytes(2, false, false, srcNone))
+		_, _, err := IngestChampSim(&in, 0)
+		if err == nil {
+			t.Fatal("expected target-zero error")
+		}
+	})
+	t.Run("empty input is a valid empty trace", func(t *testing.T) {
+		p, st, err := IngestChampSim(bytes.NewReader(nil), 0)
+		if err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+		if p.Len() != 0 || st != (IngestStats{}) {
+			t.Fatalf("got %d records, stats %+v", p.Len(), st)
+		}
+	})
+}
+
+// FuzzIngest hammers the adapter with arbitrary bytes. The contract:
+// never panic, and on success every emitted record validates and the
+// stream is contiguous.
+func FuzzIngest(f *testing.F) {
+	var valid bytes.Buffer
+	valid.Write(champBytes(0x100, false, false, srcNone))
+	valid.Write(champBytes(0x102, true, true, srcCondRel))
+	valid.Write(champBytes(0x200, false, false, srcNone))
+	valid.Write(champBytes(0x204, true, true, srcUncondInd))
+	valid.Write(champBytes(0x100, false, false, srcNone))
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add(valid.Bytes()[:champRecSize-1])                          // truncated record
+	f.Add(valid.Bytes()[:champRecSize+7])                          // truncated tail
+	f.Add(champBytes(0, false, false, srcNone))                    // ip zero
+	f.Add(champBytes(1<<63, true, true, srcUncondInd))             // doubling overflows to 0
+	f.Add(champBytes(^uint64(0), false, false, srcNone))           // max ip
+	f.Add(bytes.Repeat([]byte{0xff}, champRecSize*3))              // garbage flags
+	f.Add(bytes.Repeat(champBytes(0x8, false, false, srcNone), 4)) // rep loop
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cr := NewChampSimReader(bytes.NewReader(data))
+		var prev Rec
+		have := false
+		for {
+			r, ok := cr.Next()
+			if !ok {
+				break
+			}
+			if err := r.Validate(); err != nil {
+				t.Fatalf("emitted invalid record %+v: %v", r, err)
+			}
+			if have && prev.Next() != r.Addr {
+				t.Fatalf("discontinuity: %v -> %v", prev.Next(), r.Addr)
+			}
+			prev, have = r, true
+		}
+		// A second Next after exhaustion must stay exhausted.
+		if _, ok := cr.Next(); ok {
+			t.Fatal("reader resurrected after end of stream")
+		}
+	})
+}

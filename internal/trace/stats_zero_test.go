@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStatsZeroGuards pins the empty-trace and branch-free math: every
+// derived rate must be a finite number (zero), never NaN or ±Inf —
+// these values flow straight into serialized reports and table
+// renderers that would otherwise emit garbage.
+func TestStatsZeroGuards(t *testing.T) {
+	cases := []struct {
+		name string
+		st   Stats
+		want [3]float64 // AvgInstrLen, BranchDensity, TakenRatio
+	}{
+		{"empty trace", Stats{}, [3]float64{0, 0, 0}},
+		{"branch-free", Stats{Instructions: 10, Bytes: 40}, [3]float64{4, 0, 0}},
+		{"instructions without bytes", Stats{Instructions: 5}, [3]float64{0, 0, 0}},
+		{"all taken", Stats{Instructions: 4, Bytes: 16, Branches: 2, Taken: 2}, [3]float64{4, 2, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := [3]float64{tc.st.AvgInstrLen(), tc.st.BranchDensity(), tc.st.TakenRatio()}
+			for i, g := range got {
+				if math.IsNaN(g) || math.IsInf(g, 0) {
+					t.Fatalf("metric %d is non-finite: %v", i, g)
+				}
+			}
+			if got != tc.want {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCollectEmptySource: collecting a dry source yields the zero
+// Stats, and its derived rates stay finite.
+func TestCollectEmptySource(t *testing.T) {
+	st := Collect(&sliceSource{}, 100)
+	if st != (Stats{}) {
+		t.Fatalf("empty source collected %+v", st)
+	}
+	if st.AvgInstrLen() != 0 || st.BranchDensity() != 0 || st.TakenRatio() != 0 {
+		t.Fatal("derived rates on empty stats must be 0")
+	}
+}

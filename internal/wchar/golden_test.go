@@ -1,0 +1,86 @@
+package wchar_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"zbp/internal/wchar"
+	"zbp/internal/workload"
+)
+
+// update rewrites the golden characterization sidecars instead of
+// comparing:
+//
+//	go test ./internal/wchar -run Golden -update
+//
+// Review the diff like any golden change: a drifted metric means the
+// workload generators or the characterization itself changed behavior.
+var update = flag.Bool("update", false, "rewrite golden characterization sidecars")
+
+const (
+	goldenSeed  = 42
+	goldenScale = 100_000
+)
+
+// TestGoldenCharacterization pins the characterization sidecar for
+// every preset generator, byte-for-byte. Serialized floats are rounded
+// to 6 decimals inside the report, so the bytes are stable across
+// platforms.
+func TestGoldenCharacterization(t *testing.T) {
+	for _, name := range workload.Names() {
+		t.Run(name, func(t *testing.T) {
+			src, err := workload.Make(name, goldenSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := wchar.Characterize(src, goldenScale, wchar.Config{})
+			rep.Workload = name
+			rep.Seed = goldenSeed
+			var buf bytes.Buffer
+			if err := rep.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got := buf.Bytes()
+			path := filepath.Join("testdata", "golden", name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("characterization drifted from golden %s;\nre-run with -update and review the diff", path)
+			}
+		})
+	}
+}
+
+// TestCharacterizeDeterministic: two passes over the same workload
+// serialize identically — the property the golden comparison rests on.
+func TestCharacterizeDeterministic(t *testing.T) {
+	render := func() []byte {
+		src, err := workload.Make("mixed", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := wchar.Characterize(src, 50_000, wchar.Config{})
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Fatal("characterization is not deterministic")
+	}
+}

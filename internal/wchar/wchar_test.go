@@ -1,0 +1,139 @@
+package wchar
+
+import (
+	"math"
+	"testing"
+
+	"zbp/internal/trace"
+	"zbp/internal/zarch"
+)
+
+// recSource replays a fixed record slice.
+type recSource struct {
+	recs []trace.Rec
+	pos  int
+}
+
+func (s *recSource) Next() (trace.Rec, bool) {
+	if s.pos >= len(s.recs) {
+		return trace.Rec{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// TestCharacterizeEmpty: an empty source yields a report of finite
+// zeros — the same zero-branch guard contract trace.Stats carries.
+func TestCharacterizeEmpty(t *testing.T) {
+	rep := Characterize(&recSource{}, 0, Config{})
+	for name, v := range map[string]float64{
+		"taken_rate":      rep.TakenRate,
+		"transition_rate": rep.TransitionRate,
+		"history_entropy": rep.HistoryEntropy,
+		"ref_accuracy":    rep.RefAccuracy,
+		"ref_mpki":        rep.RefMPKI,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s is non-finite on an empty trace: %v", name, v)
+		}
+		if v != 0 {
+			t.Errorf("%s = %v on an empty trace, want 0", name, v)
+		}
+	}
+	if len(rep.H2P) != 0 {
+		t.Errorf("empty trace produced %d H2P entries", len(rep.H2P))
+	}
+}
+
+// TestCharacterizeBranchFree: instructions without branches keep every
+// rate at zero while still counting footprint.
+func TestCharacterizeBranchFree(t *testing.T) {
+	recs := []trace.Rec{
+		trace.NewRec(0x1000, 4, zarch.KindNone, false, 0, 0),
+		trace.NewRec(0x1004, 4, zarch.KindNone, false, 0, 0),
+		trace.NewRec(0x1008, 4, zarch.KindNone, false, 0, 0),
+	}
+	rep := Characterize(&recSource{recs: recs}, 0, Config{})
+	if rep.Instructions != 3 || rep.Branches != 0 {
+		t.Fatalf("counts: %+v", rep)
+	}
+	if rep.TakenRate != 0 || rep.RefAccuracy != 0 || rep.RefMPKI != 0 {
+		t.Fatalf("branch-free rates nonzero: %+v", rep)
+	}
+	if rep.FootprintLines == 0 {
+		t.Fatal("footprint not counted")
+	}
+}
+
+// TestCharacterizeBiasedVsAlternating: a perfectly alternating branch
+// has transition rate ~1 and zero local-history entropy (its history
+// fully determines the outcome); an always-taken branch has both at
+// zero.
+func TestCharacterizeBiasedVsAlternating(t *testing.T) {
+	mk := func(pattern func(i int) bool, n int) *recSource {
+		var recs []trace.Rec
+		for i := 0; i < n; i++ {
+			taken := pattern(i)
+			target := zarch.Addr(0)
+			if taken {
+				target = 0x1000
+			}
+			recs = append(recs, trace.NewRec(0x1000, 4, zarch.KindCondRel, taken, target, 0))
+			if !taken {
+				// keep a contiguous shape irrelevant here; wchar does not
+				// check contiguity, only outcomes.
+				recs = append(recs, trace.NewRec(0x1004, 4, zarch.KindNone, false, 0, 0))
+			}
+		}
+		return &recSource{recs: recs}
+	}
+
+	alt := Characterize(mk(func(i int) bool { return i%2 == 0 }, 4000), 0, Config{})
+	if alt.TransitionRate < 0.99 {
+		t.Errorf("alternating transition rate = %v, want ~1", alt.TransitionRate)
+	}
+	if alt.HistoryEntropy > 0.05 {
+		t.Errorf("alternating history entropy = %v, want ~0 (history determines outcome)", alt.HistoryEntropy)
+	}
+
+	taken := Characterize(mk(func(int) bool { return true }, 4000), 0, Config{})
+	if taken.TransitionRate != 0 {
+		t.Errorf("always-taken transition rate = %v, want 0", taken.TransitionRate)
+	}
+	if taken.HistoryEntropy != 0 {
+		t.Errorf("always-taken history entropy = %v, want 0", taken.HistoryEntropy)
+	}
+	if taken.TakenRate != 1 {
+		t.Errorf("always-taken taken rate = %v, want 1", taken.TakenRate)
+	}
+}
+
+// TestH2PRanking: the H2P list is ordered by mispredicts and its
+// shares sum to at most 1.
+func TestH2PRanking(t *testing.T) {
+	var recs []trace.Rec
+	// Branch A: random-looking (alternating at a prime stride), branch
+	// B: always taken (easy). A must out-rank B.
+	for i := 0; i < 3000; i++ {
+		recs = append(recs, trace.NewRec(0x1000, 4, zarch.KindCondRel, i%3 == 0, 0x2000, 0))
+		recs = append(recs, trace.NewRec(0x2000, 4, zarch.KindCondRel, true, 0x1000, 0))
+	}
+	rep := Characterize(&recSource{recs: recs}, 0, Config{TopN: 5})
+	if len(rep.H2P) == 0 {
+		t.Fatal("no H2P entries")
+	}
+	share := 0.0
+	for i, e := range rep.H2P {
+		share += e.MispredictShare
+		if i > 0 && e.Mispredicts > rep.H2P[i-1].Mispredicts {
+			t.Fatal("H2P list not sorted by mispredicts")
+		}
+	}
+	if share > 1.0001 {
+		t.Fatalf("mispredict shares sum to %v > 1", share)
+	}
+	if rep.H2P[0].Addr != zarch.Addr(0x1000).String() {
+		t.Errorf("hardest branch = %s, want the twitchy one at 0x1000", rep.H2P[0].Addr)
+	}
+}

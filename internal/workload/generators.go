@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"zbp/internal/hashx"
 	"zbp/internal/trace"
@@ -42,8 +43,18 @@ func Names() []string {
 }
 
 // Make builds the named workload or returns an error listing the
-// available names.
+// available names. Besides the registered generators, a name can be a
+// path-backed form: `file:<path>` replays a trace file, and
+// `spec:<path>` builds the context-switching mix a workload-spec
+// document describes (see file.go). File-backed sources ignore the
+// seed — a trace's content is fixed.
 func Make(name string, seed uint64) (trace.Source, error) {
+	switch {
+	case strings.HasPrefix(name, FilePrefix):
+		return makeFile(name[len(FilePrefix):])
+	case strings.HasPrefix(name, SpecPrefix):
+		return makeSpec(name[len(SpecPrefix):], seed)
+	}
 	m, ok := Registry()[name]
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())

@@ -65,8 +65,17 @@ func NewMaterializer() *Materializer {
 // on first use. Concurrent callers of the same key block until the
 // single materialization finishes rather than duplicating the work;
 // callers of different keys do not block each other.
+//
+// The cache key uses the workload's content identity (SpecID), not its
+// name: a file-backed workload whose bytes changed on disk is a
+// different key and re-materializes instead of replaying the stale
+// buffer.
 func (mz *Materializer) Get(name string, seed uint64, n int) (*trace.Packed, error) {
-	key := matKey{name, seed, n}
+	id, err := SpecID(name)
+	if err != nil {
+		return nil, err
+	}
+	key := matKey{id, seed, n}
 	mz.mu.Lock()
 	e, ok := mz.m[key]
 	if !ok {
