@@ -84,9 +84,10 @@ serve-smoke:
 jobs-smoke:
 	sh scripts/jobs_smoke.sh
 
-# Cluster mode smoke: coordinator + 2 backends, the same sweep twice;
-# the repeat must be >=90% served from backend caches via rendezvous
-# routing, and the whole fleet must drain on SIGTERM. Wired into CI.
+# Cluster mode smoke: coordinator + 2 backends, the same sweep twice
+# (the repeat must be fully coordinator-cache-served: zero backend
+# dispatches), a backend registered and one deregistered at runtime
+# via zbpctl backends, and a clean SIGTERM fleet drain. Wired into CI.
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
 

@@ -234,7 +234,10 @@ func clusterEntries(scale int, seed uint64, only string) ([]benchEntry, error) {
 	for _, n := range []int{1, 2, 4} {
 		name := fmt.Sprintf("cluster/fabric-%d", n)
 		if only == "" || strings.HasPrefix(name, only) {
-			e, err := measureSweep(name, n, fabricGrid, len(fabricSeeds), false, func(n int) ([]string, func(), error) {
+			// no_cache keeps every iteration on the dispatch path: the
+			// coordinator's own result cache would otherwise serve every
+			// op after the first and the entry would measure cache reads.
+			e, err := measureSweep(name, n, fabricGrid, len(fabricSeeds), true, func(n int) ([]string, func(), error) {
 				return mockBackends(n, fabricService, canned)
 			})
 			if err != nil {
@@ -244,7 +247,97 @@ func clusterEntries(scale int, seed uint64, only string) ([]benchEntry, error) {
 			entries = append(entries, e)
 		}
 	}
+	name := "cluster/coord-cache"
+	if only == "" || strings.HasPrefix(name, only) {
+		e, err := measureCoordCache(name, fabricGrid, len(fabricSeeds), canned)
+		if err != nil {
+			return nil, err
+		}
+		e.Note = "warm repeat sweep served entirely from the coordinator result cache; zero backend dispatches per op (verified against backend counters)"
+		entries = append(entries, e)
+	}
 	return entries, nil
+}
+
+// measureCoordCache runs the grid once cold to fill the coordinator's
+// result cache, then benchmarks repeat sweeps, which must be served
+// without a single backend dispatch.
+func measureCoordCache(name string, grid server.SweepRequest, cells int, stats json.RawMessage) (benchEntry, error) {
+	urls, stop, err := mockBackends(2, 20*time.Millisecond, stats)
+	if err != nil {
+		return benchEntry{}, err
+	}
+	defer stop()
+	coord, err := cluster.New(cluster.Config{
+		Backends:         urls,
+		Router:           "rendezvous",
+		AdmitCellsPerSec: -1,
+		HedgeDelay:       -1,
+		AuditEvery:       -1, // audits re-dispatch for real and would count as backend traffic
+	})
+	if err != nil {
+		return benchEntry{}, err
+	}
+	defer coord.Close()
+
+	fmt.Fprintf(os.Stderr, "zbench: %s...\n", name)
+	cold, err := coord.RunSweep(context.Background(), grid, false, nil)
+	if err != nil {
+		return benchEntry{}, fmt.Errorf("%s: cold pass: %w", name, err)
+	}
+	if cold.Errors != 0 {
+		return benchEntry{}, fmt.Errorf("%s: cold pass: %d of %d cells errored", name, cold.Errors, cells)
+	}
+	dispatched := func() int64 {
+		var n int64
+		for _, b := range coord.Backends() {
+			n += b.Dispatched
+		}
+		return n
+	}
+	baseline := dispatched()
+
+	var failure error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cached := 0
+			resp, err := coord.RunSweep(context.Background(), grid, false, func(ev cluster.CellEvent) {
+				if ev.Cached {
+					cached++
+				}
+			})
+			if err != nil {
+				failure = err
+				b.FailNow()
+			}
+			if resp.Errors != 0 || cached != cells {
+				failure = fmt.Errorf("warm sweep not fully cache-served: %d errors, %d/%d cached",
+					resp.Errors, cached, cells)
+				b.FailNow()
+			}
+		}
+	})
+	if failure != nil {
+		return benchEntry{}, fmt.Errorf("%s: %w", name, failure)
+	}
+	if r.N == 0 {
+		return benchEntry{}, fmt.Errorf("%s: benchmark did not run", name)
+	}
+	if d := dispatched() - baseline; d != 0 {
+		return benchEntry{}, fmt.Errorf("%s: %d backend dispatches during warm passes, want 0", name, d)
+	}
+	instr := cells * grid.Instructions
+	return benchEntry{
+		Name:         name,
+		Instructions: instr,
+		Iterations:   r.N,
+		WallNsPerOp:  r.NsPerOp(),
+		NsPerInstr:   float64(r.NsPerOp()) / float64(instr),
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+		CellsPerOp:   cells,
+	}, nil
 }
 
 // measureSweep boots a fleet, runs the grid as one coordinator sweep

@@ -7,6 +7,9 @@
 //	zbpctl -addr http://localhost:8300 sweep -configs z14,z15 -workloads lspr,micro -seeds 1,2
 //	zbpctl -addr http://localhost:8300 simulate -workload lspr -n 2000000
 //	zbpctl -addr http://localhost:8300 health
+//	zbpctl -addr http://coordinator:8300 backends list
+//	zbpctl -addr http://coordinator:8300 backends add http://host3:8347
+//	zbpctl -addr http://coordinator:8300 backends rm http://host2:8347
 //
 // sweep and simulate submit an async job, follow the JSONL event
 // stream (one progress line per cell on stderr), and print the final
@@ -24,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
@@ -48,6 +52,8 @@ func main() {
 		err = runSweep(base, args[1:])
 	case "simulate":
 		err = runSimulate(base, args[1:])
+	case "backends":
+		err = runBackends(base, args[1:])
 	case "health":
 		err = get(base + "/healthz")
 	case "metrics":
@@ -68,6 +74,7 @@ func usage() {
 commands:
   sweep     -configs a,b -workloads x,y -seeds 1,2 [-n N] [-no-cache] [-quiet]
   simulate  -workload x [-config a] [-seed N] [-n N] [-no-cache] [-quiet]
+  backends  list | add <url> | rm <url>   (coordinator fleet membership)
   health    print the service /healthz JSON
   metrics   print the service /metrics exposition
 `)
@@ -121,6 +128,58 @@ func runSimulate(base string, args []string) error {
 		NoCache: *noCache,
 	}
 	return submitAndFollow(base, req, *quiet)
+}
+
+// runBackends drives a coordinator's /v1/backends admin surface:
+// list the fleet, register a member, or deregister one (the removal
+// drains the member's in-flight cells before forgetting it).
+func runBackends(base string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("backends: need a subcommand: list, add <url>, rm <url>")
+	}
+	switch args[0] {
+	case "list", "ls":
+		return get(base + "/v1/backends")
+	case "add", "register":
+		if len(args) != 2 {
+			return fmt.Errorf("backends add: need exactly one backend URL")
+		}
+		body, err := json.Marshal(map[string]string{"url": args[1]})
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(base+"/v1/backends", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("add: %s: %s", resp.Status, readBody(resp.Body))
+		}
+		_, err = io.Copy(os.Stdout, resp.Body)
+		return err
+	case "rm", "remove", "deregister":
+		if len(args) != 2 {
+			return fmt.Errorf("backends rm: need exactly one backend URL")
+		}
+		req, err := http.NewRequest(http.MethodDelete,
+			base+"/v1/backends?url="+url.QueryEscape(args[1]), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("rm: %s: %s", resp.Status, readBody(resp.Body))
+		}
+		_, err = io.Copy(os.Stdout, resp.Body)
+		return err
+	default:
+		return fmt.Errorf("backends: unknown subcommand %q (have list, add, rm)", args[0])
+	}
 }
 
 // submitAndFollow posts the job, mirrors its event stream to stderr,

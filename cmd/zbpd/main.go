@@ -77,15 +77,16 @@ func main() {
 		auditEvery = flag.Int("audit-every", 16, "recompute every Nth cache hit through the equiv auditor (negative disables)")
 		traceDir   = flag.String("trace-dir", "", "allow file:/spec: workloads confined to this directory (empty disables)")
 
-		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator instead of a simulation backend")
-		backends    = flag.String("backends", "", "comma-separated backend base URLs (coordinator mode)")
-		router      = flag.String("router", "rendezvous", "cell routing policy: rendezvous, least-loaded, round-robin")
-		cellTO      = flag.Duration("cell-timeout", 60*time.Second, "per-attempt deadline for one dispatched cell (coordinator mode)")
-		hedgeDelay  = flag.Duration("hedge-delay", 400*time.Millisecond, "straggler threshold before a duplicate dispatch (negative disables; coordinator mode)")
-		maxAttempts = flag.Int("max-attempts", 0, "dispatch attempts per cell incl. retries and the hedge (0 = max(3, #backends); coordinator mode)")
-		perBackend  = flag.Int("inflight-per-backend", 4, "concurrent cells per backend (coordinator mode)")
-		admitRate   = flag.Float64("admit-cells-per-sec", 256, "token-bucket admission refill, one token per cell (negative disables; coordinator mode)")
-		admitBurst  = flag.Int("admit-burst", 1024, "token-bucket admission capacity (coordinator mode)")
+		coordinator  = flag.Bool("coordinator", false, "run as a fleet coordinator instead of a simulation backend")
+		backends     = flag.String("backends", "", "comma-separated backend base URLs (coordinator mode)")
+		backendsFile = flag.String("backends-file", "", "file with one backend URL per line, re-read on change (coordinator mode)")
+		router       = flag.String("router", "rendezvous", "cell routing policy: rendezvous, least-loaded, round-robin")
+		cellTO       = flag.Duration("cell-timeout", 60*time.Second, "per-attempt deadline for one dispatched cell (coordinator mode)")
+		hedgeDelay   = flag.Duration("hedge-delay", 400*time.Millisecond, "straggler threshold before a duplicate dispatch (0 = the 400ms default, negative disables; coordinator mode)")
+		maxAttempts  = flag.Int("max-attempts", 0, "dispatch attempts per cell incl. retries and the hedge (0 = max(3, #backends); coordinator mode)")
+		perBackend   = flag.Int("inflight-per-backend", 4, "concurrent cells per backend (coordinator mode)")
+		admitRate    = flag.Float64("admit-cells-per-sec", 256, "token-bucket admission refill, one token per cell (negative disables; coordinator mode)")
+		admitBurst   = flag.Int("admit-burst", 1024, "token-bucket admission capacity (coordinator mode)")
 	)
 	flag.Parse()
 
@@ -105,6 +106,7 @@ func main() {
 		}
 		coord, err := cluster.New(cluster.Config{
 			Backends:            clean,
+			BackendsFile:        *backendsFile,
 			Router:              *router,
 			CellTimeout:         *cellTO,
 			HedgeDelay:          *hedgeDelay,
@@ -118,13 +120,17 @@ func main() {
 			MaxTimeout:          *maxTO,
 			MaxJobs:             *maxJobs,
 			JobTTL:              *jobTTL,
+			CacheMemBytes:       *cacheMem,
+			CacheDir:            *cacheDir,
+			CacheDiskBytes:      *cacheDisk,
+			AuditEvery:          *auditEvery,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "zbpd:", err)
 			os.Exit(1)
 		}
 		handler, svc = coord.Handler(), coord
-		log.Printf("zbpd: coordinating %d backends (router %s)", len(clean), *router)
+		log.Printf("zbpd: coordinating %d backends (router %s)", len(coord.Backends()), *router)
 	} else {
 		srv, err := server.New(server.Config{
 			Workers:             *workers,

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"log"
+
+	"zbp/internal/rcache"
+)
+
+// Coordinator cache auditor. The coordinator-side result cache serves
+// repeat cells without touching a backend, which is exactly why it
+// must be audited: a poisoned entry would otherwise be invisible
+// forever. Every AuditEvery'th cache hit is handed to a single
+// background goroutine that re-resolves the cell through a real
+// no-cache dispatch — the fleet recomputes it from scratch — and
+// byte-compares the canonical stats JSON against what the cache
+// served. Divergence lands in zbpd_coord_cache_audit_failures_total
+// and the log. This is the fleet-level twin of the single box's
+// equiv-backed cache auditor (internal/server/audit.go); determinism
+// down to identical bytes is what makes the comparison exact.
+
+// coordAuditTask carries one sampled coordinator cache hit.
+type coordAuditTask struct {
+	key   rcache.Key
+	spec  rcache.CellSpec
+	stats []byte
+}
+
+// maybeAudit samples cache hits into the audit queue. The send is
+// non-blocking: auditing is a watchdog, not a gate, so when the
+// auditor is saturated the sample is dropped (and counted) rather
+// than stalling the serving path.
+func (c *Coordinator) maybeAudit(key rcache.Key, spec rcache.CellSpec, stats []byte) {
+	if c.auditCh == nil {
+		return
+	}
+	n := c.auditHits.Add(1)
+	if n%int64(c.cfg.AuditEvery) != 0 {
+		return
+	}
+	select {
+	case c.auditCh <- coordAuditTask{key: key, spec: spec, stats: stats}:
+	default:
+		c.auditDropped.Add(1)
+	}
+}
+
+// auditLoop drains sampled hits until the coordinator closes. One
+// goroutine, deliberately: each audit is a full fleet recompute, and
+// a single lane bounds how much backend capacity verification can
+// steal from real traffic.
+func (c *Coordinator) auditLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.baseCtx.Done():
+			return
+		case t := <-c.auditCh:
+			c.runAudit(t)
+		}
+	}
+}
+
+// runAudit re-resolves one sampled hit through the fleet (no_cache
+// all the way down, so the backend simulates rather than answering
+// from its own cache) and records the verdict.
+func (c *Coordinator) runAudit(t coordAuditTask) {
+	c.audits.Add(1)
+	ctx, cancel := context.WithTimeout(c.baseCtx, c.cfg.CellTimeout)
+	defer cancel()
+	out, err := c.dispatchCell(ctx, c.fleet.snapshot(), t.spec, true)
+	if err != nil {
+		if c.baseCtx.Err() != nil {
+			// Shutdown interrupted the recompute; not an audit error.
+			c.audits.Add(-1)
+			return
+		}
+		c.auditErrors.Add(1)
+		log.Printf("coord cache audit error: key %s: %v", t.key.Hash(), err)
+		return
+	}
+	if !bytes.Equal(out.stats, t.stats) {
+		c.auditFails.Add(1)
+		log.Printf("COORD CACHE AUDIT FAILURE: key %s: cached stats diverge from recompute (cfg=%s wl=%s seed=%d n=%d)",
+			t.key.Hash(), t.spec.Config, t.spec.Workload, t.spec.Seed, t.spec.Instructions)
+	}
+}

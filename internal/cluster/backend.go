@@ -26,6 +26,11 @@ type backend struct {
 	consecFails atomic.Int32
 	load        atomic.Pointer[server.Health]
 
+	// departed marks a member being deregistered: it takes no new
+	// dispatches (every router and retry path skips it) while its
+	// in-flight attempts drain, then it is forgotten.
+	departed atomic.Bool
+
 	// Lifetime tallies for the coordinator's /healthz report.
 	inflight   atomic.Int64
 	dispatched atomic.Int64
@@ -90,6 +95,7 @@ type BackendStatus struct {
 	Name       string `json:"name"`
 	URL        string `json:"url"`
 	Healthy    bool   `json:"healthy"`
+	Departed   bool   `json:"departed,omitempty"`
 	Inflight   int64  `json:"inflight"`
 	Dispatched int64  `json:"dispatched"`
 	Failures   int64  `json:"failures"`
@@ -103,6 +109,7 @@ func (b *backend) status() BackendStatus {
 		Name:       b.name,
 		URL:        b.url,
 		Healthy:    b.healthy.Load(),
+		Departed:   b.departed.Load(),
 		Inflight:   b.inflight.Load(),
 		Dispatched: b.dispatched.Load(),
 		Failures:   b.failures.Load(),

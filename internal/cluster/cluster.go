@@ -55,8 +55,16 @@ import (
 // Config sizes a Coordinator. Backends is required; every other field
 // has a production-lean default applied by New.
 type Config struct {
-	// Backends is the fleet: base URLs of zbpd processes ("http://host:8347").
+	// Backends seeds the fleet: base URLs of zbpd processes
+	// ("http://host:8347"). Membership is mutable at runtime through
+	// /v1/backends and BackendsFile; this list is only the starting
+	// point. Required unless BackendsFile is set.
 	Backends []string
+	// BackendsFile, when set, names a file with one backend URL per
+	// line (blank lines and #-comments ignored). The probe loop
+	// re-reads it when it changes and reconciles membership to it —
+	// the file is declarative and wins over earlier admin edits.
+	BackendsFile string
 	// Router selects the routing policy: "rendezvous" (default),
 	// "least-loaded", or "round-robin".
 	Router string
@@ -86,6 +94,20 @@ type Config struct {
 	// HealthFailures is how many consecutive probe or transport
 	// failures mark a backend unhealthy. Default: 3.
 	HealthFailures int
+
+	// Coordinator-side result cache: winning canonical stats bytes are
+	// stored under the same rcache content address the routing key
+	// uses, so a repeat sweep is answered with zero backend
+	// dispatches. CacheMemBytes bounds the in-memory LRU (default
+	// 256 MiB); CacheDir enables the optional disk layer bounded by
+	// CacheDiskBytes (default 1 GiB).
+	CacheMemBytes  int64
+	CacheDir       string
+	CacheDiskBytes int64
+	// AuditEvery recomputes every Nth coordinator cache hit through a
+	// real no-cache dispatch and byte-compares the result. 0 means the
+	// default of 16; negative disables auditing.
+	AuditEvery int
 
 	// Request surface limits, mirroring the single-box service.
 	MaxBodyBytes        int64
@@ -133,6 +155,9 @@ func (c Config) withDefaults() Config {
 	if c.HealthFailures <= 0 {
 		c.HealthFailures = 3
 	}
+	if c.AuditEvery == 0 {
+		c.AuditEvery = 16
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
@@ -166,19 +191,34 @@ func (c Config) withDefaults() Config {
 // Coordinator fans cells out over the fleet. Build with New, serve
 // Handler, and Close when done (Drain first on graceful shutdown).
 type Coordinator struct {
-	cfg      Config
-	backends []*backend
-	router   router
-	rr       atomic.Uint64 // shared rotation cursor (round-robin, tie-breaks, diff forwarding)
-	jobs     *jobs.Store
-	reg      *metrics.Registry
-	mux      *http.ServeMux
-	bucket   *bucket
-	client   *http.Client
+	cfg    Config
+	fleet  memberSet // mutable, versioned membership registry
+	router router
+	rr     atomic.Uint64 // shared rotation cursor (round-robin, tie-breaks, diff forwarding)
+	jobs   *jobs.Store
+	reg    *metrics.Registry
+	mux    *http.ServeMux
+	bucket *bucket
+	client *http.Client
+	cache  *rcache.Cache // coordinator-side result cache (fronts dispatch)
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
+
+	// -backends-file change detection (probe-loop goroutine only).
+	bfMod    time.Time
+	bfSize   int64
+	bfWarned bool
+
+	// Cache-audit lane: sampled coordinator cache hits recomputed via
+	// a real no-cache dispatch (see audit.go).
+	auditCh      chan coordAuditTask
+	auditHits    atomic.Int64
+	audits       atomic.Int64
+	auditErrors  atomic.Int64
+	auditFails   atomic.Int64
+	auditDropped atomic.Int64
 
 	// Live counters, exported via /metrics.
 	requests      atomic.Int64
@@ -196,32 +236,40 @@ type Coordinator struct {
 	hedgeLaunched    atomic.Int64
 	hedgeWins        atomic.Int64
 	backendUnhealthy atomic.Int64
+	backendAdded     atomic.Int64
+	backendRemoved   atomic.Int64
 }
 
 // New builds a coordinator over the configured fleet and starts its
 // health-probe loop. Callers must Close it.
 func New(cfg Config) (*Coordinator, error) {
 	c := &Coordinator{cfg: cfg.withDefaults()}
-	if len(c.cfg.Backends) == 0 {
+	if len(c.cfg.Backends) == 0 && c.cfg.BackendsFile == "" {
 		return nil, errors.New("cluster: no backends configured")
 	}
-	seen := map[string]bool{}
 	for _, raw := range c.cfg.Backends {
 		b, err := newBackend(raw, c.cfg.InflightPerBackend)
 		if err != nil {
 			return nil, err
 		}
-		if seen[b.url] {
+		if err := c.fleet.add(b); err != nil {
 			return nil, fmt.Errorf("cluster: duplicate backend %s", b.url)
 		}
-		seen[b.url] = true
-		c.backends = append(c.backends, b)
 	}
 	r, err := newRouter(c.cfg.Router, &c.rr)
 	if err != nil {
 		return nil, err
 	}
 	c.router = r
+	cache, err := rcache.New(rcache.Config{
+		MaxMemBytes:  c.cfg.CacheMemBytes,
+		Dir:          c.cfg.CacheDir,
+		MaxDiskBytes: c.cfg.CacheDiskBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.cache = cache
 	if c.cfg.AdmitCellsPerSec > 0 {
 		c.bucket = newBucket(c.cfg.AdmitCellsPerSec, float64(c.cfg.AdmitBurst), c.cfg.now)
 	}
@@ -231,11 +279,13 @@ func New(cfg Config) (*Coordinator, error) {
 		Now:     c.cfg.now,
 	})
 	c.client = &http.Client{Transport: &http.Transport{
-		MaxIdleConns:        len(c.backends) * (c.cfg.InflightPerBackend + 2),
 		MaxIdleConnsPerHost: c.cfg.InflightPerBackend + 2,
 		IdleConnTimeout:     90 * time.Second,
 	}}
 	c.baseCtx, c.baseCancel = context.WithCancel(context.Background())
+	// Load the membership file once, synchronously, so a file-only
+	// fleet is routable before the first probe tick.
+	c.maybeReloadBackendsFile()
 	c.reg = c.buildRegistry()
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("POST /v1/simulate", c.handleSimulate)
@@ -244,8 +294,16 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleJobGet)
 	c.mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleJobEvents)
 	c.mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleJobDelete)
+	c.mux.HandleFunc("GET /v1/backends", c.handleBackendsList)
+	c.mux.HandleFunc("POST /v1/backends", c.handleBackendAdd)
+	c.mux.HandleFunc("DELETE /v1/backends", c.handleBackendRemove)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	if c.cfg.AuditEvery > 0 {
+		c.auditCh = make(chan coordAuditTask, 8)
+		c.wg.Add(1)
+		go c.auditLoop()
+	}
 	c.wg.Add(1)
 	go c.probeLoop()
 	return c, nil
@@ -273,25 +331,48 @@ func (c *Coordinator) Close() {
 // TestRouteKeyMatchesCacheKey pins that the two never drift.
 func RouteKey(spec rcache.CellSpec) rcache.Key { return rcache.NewKey(spec) }
 
-// healthyBackends returns the backends currently passing probes; when
-// the whole fleet looks down it returns everything, because dispatch
-// attempts are themselves the fastest way to discover recovery.
-func (c *Coordinator) healthyBackends() []*backend {
-	out := make([]*backend, 0, len(c.backends))
-	for _, b := range c.backends {
-		if b.healthy.Load() {
-			out = append(out, b)
+// candidates filters a membership snapshot down to routable backends.
+// Departed members are dropped first — a deregistration applies
+// instantly, even to sweeps pinned to an older snapshot. If that
+// leaves nothing (every snapshot member left mid-sweep), the current
+// fleet steps in so the remaining cells can still land somewhere.
+// Among the survivors, those passing probes win; when the whole set
+// looks down it returns everything, because dispatch attempts are
+// themselves the fastest way to discover recovery.
+func (c *Coordinator) candidates(members []*backend) []*backend {
+	alive := make([]*backend, 0, len(members))
+	for _, b := range members {
+		if !b.departed.Load() {
+			alive = append(alive, b)
 		}
 	}
-	if len(out) == 0 {
-		return c.backends
+	if len(alive) == 0 {
+		for _, b := range c.fleet.snapshot() {
+			if !b.departed.Load() {
+				alive = append(alive, b)
+			}
+		}
 	}
-	return out
+	healthy := make([]*backend, 0, len(alive))
+	for _, b := range alive {
+		if b.healthy.Load() {
+			healthy = append(healthy, b)
+		}
+	}
+	if len(healthy) == 0 {
+		return alive
+	}
+	return healthy
 }
 
-// order returns the preference-ordered backends for one cell.
-func (c *Coordinator) order(spec rcache.CellSpec) []*backend {
-	return c.router.order(RouteKey(spec).Hash64(), c.healthyBackends())
+// order returns the preference-ordered backends for one cell, routing
+// within the sweep's membership snapshot.
+func (c *Coordinator) order(members []*backend, spec rcache.CellSpec) []*backend {
+	cands := c.candidates(members)
+	if len(cands) == 0 {
+		return nil
+	}
+	return c.router.order(RouteKey(spec).Hash64(), cands)
 }
 
 // fleetEWMASeconds is the mean smoothed per-task duration across
@@ -300,7 +381,7 @@ func (c *Coordinator) order(spec rcache.CellSpec) []*backend {
 func (c *Coordinator) fleetEWMASeconds() float64 {
 	var sum float64
 	n := 0
-	for _, b := range c.backends {
+	for _, b := range c.fleet.snapshot() {
 		if h := b.load.Load(); h != nil {
 			sum += h.RunSecondsEWMA
 			n++
@@ -317,7 +398,7 @@ func (c *Coordinator) fleetEWMASeconds() float64 {
 func (c *Coordinator) fleetWaitSeconds() float64 {
 	best := 0.0
 	have := false
-	for _, b := range c.healthyBackends() {
+	for _, b := range c.candidates(c.fleet.snapshot()) {
 		h := b.load.Load()
 		if h == nil {
 			continue
@@ -338,8 +419,9 @@ func (c *Coordinator) fleetWaitSeconds() float64 {
 	return best
 }
 
-// probeLoop polls every backend's /healthz on the configured interval
-// until the coordinator closes.
+// probeLoop polls every member's /healthz on the configured interval
+// until the coordinator closes, re-reading the membership file (if
+// any) first so joins and leaves land within one probe interval.
 func (c *Coordinator) probeLoop() {
 	defer c.wg.Done()
 	t := time.NewTicker(c.cfg.HealthInterval)
@@ -350,8 +432,9 @@ func (c *Coordinator) probeLoop() {
 			return
 		case <-t.C:
 		}
+		c.maybeReloadBackendsFile()
 		var pw sync.WaitGroup
-		for _, b := range c.backends {
+		for _, b := range c.fleet.snapshot() {
 			pw.Add(1)
 			go func(b *backend) {
 				defer pw.Done()
@@ -421,11 +504,22 @@ func (c *Coordinator) buildRegistry() *metrics.Registry {
 	gauge("zbpd.hedge_launched_total", &c.hedgeLaunched)
 	gauge("zbpd.hedge_wins_total", &c.hedgeWins)
 	gauge("zbpd.backend_unhealthy_total", &c.backendUnhealthy)
+	gauge("zbpd.backend_added_total", &c.backendAdded)
+	gauge("zbpd.backend_removed_total", &c.backendRemoved)
+	gauge("zbpd.coord_cache_audits_total", &c.audits)
+	gauge("zbpd.coord_cache_audit_errors_total", &c.auditErrors)
+	gauge("zbpd.coord_cache_audit_failures_total", &c.auditFails)
+	gauge("zbpd.coord_cache_audit_dropped_total", &c.auditDropped)
 	fn := func(name string, f func() float64) { reg.Gauge(name, f) }
-	fn("zbpd.coord_backends", func() float64 { return float64(len(c.backends)) })
+	fn("zbpd.coord_cache_hits_total", func() float64 { return float64(c.cache.Hits()) })
+	fn("zbpd.coord_cache_misses_total", func() float64 { return float64(c.cache.Misses()) })
+	fn("zbpd.coord_cache_entries", func() float64 { return float64(c.cache.Len()) })
+	fn("zbpd.coord_cache_mem_bytes", func() float64 { return float64(c.cache.MemBytes()) })
+	fn("zbpd.coord_backends", func() float64 { return float64(c.fleet.size()) })
+	fn("zbpd.coord_backends_version", func() float64 { return float64(c.fleet.generation()) })
 	fn("zbpd.coord_backends_healthy", func() float64 {
 		n := 0
-		for _, b := range c.backends {
+		for _, b := range c.fleet.snapshot() {
 			if b.healthy.Load() {
 				n++
 			}
@@ -434,7 +528,7 @@ func (c *Coordinator) buildRegistry() *metrics.Registry {
 	})
 	fn("zbpd.coord_inflight", func() float64 {
 		var n int64
-		for _, b := range c.backends {
+		for _, b := range c.fleet.snapshot() {
 			n += b.inflight.Load()
 		}
 		return float64(n)

@@ -175,10 +175,13 @@ func TestFleetSweepByteIdentical(t *testing.T) {
 	grid := testGrid()
 	want := singleBoxSweep(t, grid)
 
-	// Hedging off: a hedge that wins on a non-primary backend would
-	// leave that cell uncached at its rendezvous home, making the warm
-	// cache-rate assertion timing-dependent. Hedges get their own test.
-	f := newFleet(t, 4, func(c *Config) { c.HedgeDelay = -1 })
+	// Hedging off so backend attribution stays deterministic; audits
+	// off because they dispatch for real and this test counts
+	// dispatches to zero. Both get their own tests.
+	f := newFleet(t, 4, func(c *Config) {
+		c.HedgeDelay = -1
+		c.AuditEvery = -1
+	})
 	cold := runSweepJob(t, f.url, grid)
 	if !bytes.Equal(cold.Result, want.Result) {
 		t.Errorf("fleet sweep differs from single box:\nfleet:  %s\nsingle: %s", cold.Result, want.Result)
@@ -187,16 +190,26 @@ func TestFleetSweepByteIdentical(t *testing.T) {
 	if cold.Progress.CellsDone != total {
 		t.Errorf("cold run finished %d/%d cells", cold.Progress.CellsDone, total)
 	}
+	if got := f.coord.cache.Misses(); got != int64(total) {
+		t.Errorf("cold run recorded %d coordinator cache misses, want %d", got, total)
+	}
 
-	// Warm repeat: same grid, same rendezvous placement, so every cell
-	// should find its bytes already cached on its backend.
+	// Warm repeat: every cell is answered from the coordinator's own
+	// result cache — zero backend dispatches, byte-identical marshal.
+	dispatchedBefore := totalDispatched(f.coord)
 	warm := runSweepJob(t, f.url, grid)
 	if !bytes.Equal(warm.Result, want.Result) {
 		t.Error("warm fleet sweep diverged from the reference result")
 	}
-	if warm.Progress.CellsCached*10 < total*9 {
-		t.Errorf("warm run served %d/%d cells from cache, want >=90%%",
+	if warm.Progress.CellsCached != total {
+		t.Errorf("warm run served %d/%d cells from cache, want all",
 			warm.Progress.CellsCached, total)
+	}
+	if d := totalDispatched(f.coord) - dispatchedBefore; d != 0 {
+		t.Errorf("warm run performed %d backend dispatches, want 0", d)
+	}
+	if got := f.coord.cache.Hits(); got != int64(total) {
+		t.Errorf("coordinator cache hits %d after warm run, want %d", got, total)
 	}
 	if got := f.coord.cellsCached.Load(); got < int64(warm.Progress.CellsCached) {
 		t.Errorf("coordinator cached-cell counter %d below job's %d", got, warm.Progress.CellsCached)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -38,14 +39,53 @@ type attemptResult struct {
 	permanent bool
 }
 
-// runCell resolves one cell against the fleet: primary dispatch on
-// the router's first choice, one hedged duplicate on the next choice
-// if the primary dawdles past HedgeDelay, and immediate rerouting on
-// failure — all capped at MaxAttempts launches. The first successful
-// response wins; determinism makes every response interchangeable
-// byte for byte, so the loser is simply cancelled, never reconciled.
-func (c *Coordinator) runCell(ctx context.Context, spec rcache.CellSpec, noCache bool) (cellOutcome, error) {
-	prefs := c.order(spec)
+// runCell resolves one cell: coordinator result cache first, fleet
+// dispatch on a miss. The cache is keyed by the same canonical
+// rcache content address the rendezvous router hashes, and stores the
+// winning canonical stats bytes — so a repeat sweep is answered with
+// zero backend dispatches. Per-key singleflight means N concurrent
+// requests for the same uncomputed cell dispatch once and share the
+// bytes. Sampled hits are re-verified end to end by a real no-cache
+// dispatch (see audit.go).
+func (c *Coordinator) runCell(ctx context.Context, members []*backend, spec rcache.CellSpec, noCache bool) (cellOutcome, error) {
+	if noCache {
+		return c.dispatchCell(ctx, members, spec, true)
+	}
+	key := RouteKey(spec)
+	var out cellOutcome
+	var dispatched bool
+	v, hit, err := c.cache.GetOrCompute(ctx, key, func(cctx context.Context) ([]byte, error) {
+		o, derr := c.dispatchCell(cctx, members, spec, false)
+		if derr != nil {
+			return nil, derr
+		}
+		out, dispatched = o, true
+		return o.stats, nil
+	})
+	if err != nil {
+		return cellOutcome{}, err
+	}
+	if !hit && dispatched {
+		return out, nil
+	}
+	// Served from the coordinator's own cache (memory, disk, or
+	// coalesced onto a concurrent dispatch): no backend attribution.
+	c.maybeAudit(key, spec, v)
+	return cellOutcome{stats: v, cached: true}, nil
+}
+
+// dispatchCell resolves one cell against the fleet: primary dispatch
+// on the router's first choice, one hedged duplicate on the next
+// choice if the primary dawdles past HedgeDelay, and immediate
+// rerouting on failure — all capped at MaxAttempts launches. The
+// first successful response wins; determinism makes every response
+// interchangeable byte for byte, so the loser is simply cancelled,
+// never reconciled.
+func (c *Coordinator) dispatchCell(ctx context.Context, members []*backend, spec rcache.CellSpec, noCache bool) (cellOutcome, error) {
+	prefs := c.order(members, spec)
+	if len(prefs) == 0 {
+		return cellOutcome{}, errors.New("no backends available")
+	}
 	cellCtx, cancel := context.WithCancel(ctx)
 	defer cancel() // reaps the losing attempt the moment one wins
 
@@ -53,14 +93,47 @@ func (c *Coordinator) runCell(ctx context.Context, spec rcache.CellSpec, noCache
 	// departed listener.
 	results := make(chan attemptResult, c.cfg.MaxAttempts)
 	next, launched, inflight := 0, 0, 0
+	running := make(map[*backend]int, 2) // live attempts per backend
+	// pick walks the preference order to the next usable backend:
+	// departed members are skipped (deregistration applies instantly,
+	// even mid-sweep), and a hedge skips backends already running this
+	// cell — duplicating onto the box that is being hedged *against*
+	// burns a slot and a token for zero diversity. If the snapshot has
+	// wholly departed, re-route against the live fleet once.
+	pick := func(avoidRunning bool) *backend {
+		for rerouted := false; ; {
+			for range prefs {
+				b := prefs[next%len(prefs)]
+				next++
+				if b.departed.Load() {
+					continue
+				}
+				if avoidRunning && running[b] > 0 {
+					continue
+				}
+				return b
+			}
+			if rerouted || avoidRunning {
+				return nil
+			}
+			rerouted = true
+			if prefs = c.order(c.fleet.snapshot(), spec); len(prefs) == 0 {
+				return nil
+			}
+			next = 0
+		}
+	}
 	launch := func(isHedge bool) bool {
 		if launched >= c.cfg.MaxAttempts {
 			return false
 		}
-		b := prefs[next%len(prefs)]
-		next++
+		b := pick(isHedge)
+		if b == nil {
+			return false
+		}
 		launched++
 		inflight++
+		running[b]++
 		c.attempts.Add(1)
 		if isHedge {
 			c.hedgeLaunched.Add(1)
@@ -72,7 +145,9 @@ func (c *Coordinator) runCell(ctx context.Context, spec rcache.CellSpec, noCache
 		}()
 		return true
 	}
-	launch(false)
+	if !launch(false) {
+		return cellOutcome{}, errors.New("no backends available")
+	}
 
 	var hedgeCh <-chan time.Time
 	if c.cfg.HedgeDelay > 0 {
@@ -92,6 +167,7 @@ func (c *Coordinator) runCell(ctx context.Context, spec rcache.CellSpec, noCache
 			}
 		case res := <-results:
 			inflight--
+			running[res.b]--
 			if res.err == nil {
 				if res.isHedge {
 					c.hedgeWins.Add(1)
@@ -126,7 +202,7 @@ func (c *Coordinator) attempt(ctx context.Context, b *backend, spec rcache.CellS
 	b.dispatched.Add(1)
 	actx, cancel := context.WithTimeout(ctx, c.cfg.CellTimeout)
 	defer cancel()
-	resp, permanent, err := c.postCell(actx, b, spec, noCache)
+	resp, permanent, err := c.postCell(actx, ctx, b, spec, noCache)
 	if err != nil {
 		b.failures.Add(1)
 		return attemptResult{b: b, err: err, permanent: permanent}
@@ -137,8 +213,10 @@ func (c *Coordinator) attempt(ctx context.Context, b *backend, spec rcache.CellS
 // postCell performs the /v1/cell POST and classifies the reply:
 // success, saturation (retry elsewhere, the box is fine), permanent
 // rejection (nobody can fix a bad request), or failure (counts toward
-// the backend's health).
-func (c *Coordinator) postCell(ctx context.Context, b *backend, spec rcache.CellSpec, noCache bool) (*server.CellResponse, bool, error) {
+// the backend's health). ctx is the attempt's own context (parent
+// plus CellTimeout); parent is the caller's, consulted to tell "the
+// caller gave up" apart from "the backend stalled".
+func (c *Coordinator) postCell(ctx, parent context.Context, b *backend, spec rcache.CellSpec, noCache bool) (*server.CellResponse, bool, error) {
 	seed := spec.Seed
 	body, err := json.Marshal(server.CellRequest{
 		SimulateRequest: server.SimulateRequest{
@@ -158,13 +236,17 @@ func (c *Coordinator) postCell(ctx context.Context, b *backend, spec rcache.Cell
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := c.client.Do(hreq)
 	if err != nil {
-		if ctx.Err() == context.Canceled {
-			// The cell was resolved elsewhere or the job died; not the
-			// backend's fault.
+		if parent.Err() != nil {
+			// The caller stopped waiting — the cell was resolved
+			// elsewhere, the job died, or the *caller's* deadline
+			// expired. Either way the interruption is no evidence
+			// against this backend: a short client timeout must not
+			// flip healthy boxes unhealthy fleet-wide.
 			return nil, false, err
 		}
-		// Connection refused, reset, or a stall past the attempt
-		// timeout: evidence the box is sick.
+		// The attempt's own CellTimeout fired or the transport failed
+		// outright (connection refused, reset): evidence the box is
+		// sick.
 		c.noteBackendFailure(b)
 		return nil, false, fmt.Errorf("backend %s: %w", b.name, err)
 	}
@@ -241,6 +323,12 @@ type CellEvent struct {
 // canonical stats through the same server.Summarize, and row order is
 // position-assigned, not completion-ordered.
 func (c *Coordinator) RunSweep(ctx context.Context, req server.SweepRequest, noCache bool, onEvent func(CellEvent)) (server.SweepResponse, error) {
+	// Pin membership once for the whole sweep: cells route against
+	// this snapshot, so concurrent joins/leaves cannot shuffle cells
+	// between backends mid-grid. (A member deregistered mid-sweep is
+	// still skipped instantly — candidates() drops departed members
+	// from every snapshot.)
+	members := c.fleet.snapshot()
 	total := len(req.Configs) * len(req.Workloads) * len(req.Seeds)
 	rows := make([]server.SweepCell, total)
 	var done atomic.Int64
@@ -257,7 +345,7 @@ func (c *Coordinator) RunSweep(ctx context.Context, req server.SweepRequest, noC
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					rows[i] = c.sweepCell(ctx, spec, noCache, i, total, &done, &evMu, onEvent)
+					rows[i] = c.sweepCell(ctx, members, spec, noCache, i, total, &done, &evMu, onEvent)
 				}()
 				idx++
 			}
@@ -277,13 +365,13 @@ func (c *Coordinator) RunSweep(ctx context.Context, req server.SweepRequest, noC
 }
 
 // sweepCell resolves one grid position and reports its event.
-func (c *Coordinator) sweepCell(ctx context.Context, spec rcache.CellSpec, noCache bool, i, total int, done *atomic.Int64, evMu *sync.Mutex, onEvent func(CellEvent)) server.SweepCell {
+func (c *Coordinator) sweepCell(ctx context.Context, members []*backend, spec rcache.CellSpec, noCache bool, i, total int, done *atomic.Int64, evMu *sync.Mutex, onEvent func(CellEvent)) server.SweepCell {
 	row := server.SweepCell{Config: spec.Config, Workload: spec.Workload, Seed: spec.Seed}
 	ev := CellEvent{
 		Type: "cell", Index: i, Total: total,
 		Config: spec.Config, Workload: spec.Workload, Seed: spec.Seed,
 	}
-	out, err := c.runCell(ctx, spec, noCache)
+	out, err := c.runCell(ctx, members, spec, noCache)
 	if err == nil {
 		var sum server.CellSummary
 		if _, sum, err = server.Summarize(spec, out.stats); err == nil {
@@ -322,7 +410,7 @@ func (c *Coordinator) RunSimulate(ctx context.Context, req server.SimulateReques
 		Config: req.Config, Workload: req.Workload, Workload2: req.Workload2,
 		Seed: seed, Instructions: req.Instructions,
 	}
-	out, err := c.runCell(ctx, spec, noCache)
+	out, err := c.runCell(ctx, c.fleet.snapshot(), spec, noCache)
 	if err != nil {
 		return server.SimulateResponse{}, cellOutcome{}, err
 	}

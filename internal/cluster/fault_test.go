@@ -144,10 +144,73 @@ func TestSaturatedBackendRerouted(t *testing.T) {
 	if f.coord.backendUnhealthy.Load() != 0 {
 		t.Error("saturated backend was marked unhealthy")
 	}
-	for _, b := range f.coord.backends {
+	for _, b := range f.coord.fleet.snapshot() {
 		if !b.healthy.Load() {
 			t.Errorf("backend %s unhealthy after mere saturation", b.name)
 		}
+	}
+}
+
+// TestCallerDeadlineDoesNotDentHealth pins the health-attribution
+// fix: when the *caller's* request deadline expires mid-dispatch, the
+// aborted attempt is the client's impatience, not backend sickness.
+// Pre-fix, only context.Canceled was exempt from noteBackendFailure,
+// so a short client timeout dented — and with a low threshold flipped
+// — perfectly healthy backends.
+func TestCallerDeadlineDoesNotDentHealth(t *testing.T) {
+	slow := fakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		<-r.Context().Done() // slower than the client's patience
+	})
+	cfg := Config{
+		Backends:       []string{slow.URL},
+		HealthInterval: 20 * time.Millisecond,
+		HealthFailures: 1,                // one unfair dent is enough to flip
+		CellTimeout:    10 * time.Second, // the attempt's own budget is generous
+		HedgeDelay:     -1,
+		MaxAttempts:    1,
+	}
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		coord.Close()
+	})
+
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", server.SimulateRequest{
+		Workload: "loops", Instructions: 20_000, TimeoutMs: 150,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("impatient simulate: status %d (%s), want 504", resp.StatusCode, body)
+	}
+	// The aborted attempt classifies asynchronously; give it room to
+	// (wrongly) dent before asserting it did not.
+	time.Sleep(500 * time.Millisecond)
+	if got := coord.backendUnhealthy.Load(); got != 0 {
+		t.Errorf("caller-deadline expiry flipped %d backends unhealthy, want 0", got)
+	}
+}
+
+// TestNoSelfHedgeOnSingleBackend pins the self-hedge fix: with one
+// backend there is no "next choice", and duplicating the cell onto
+// the box already running it burns a queue slot and an admission
+// token for zero diversity. The hedge must simply not launch.
+func TestNoSelfHedgeOnSingleBackend(t *testing.T) {
+	f := newFleet(t, 1, func(c *Config) {
+		c.HedgeDelay = time.Millisecond // fires long before a 300k-instruction cell finishes
+		c.MaxAttempts = 4
+	})
+	st := runSweepJob(t, f.url, server.SweepRequest{
+		Workloads: []string{"loops"}, Seeds: []uint64{1, 2}, Instructions: 300_000,
+	})
+	if st.Progress.CellsDone != 2 {
+		t.Errorf("finished %d/2 cells", st.Progress.CellsDone)
+	}
+	if got := f.coord.hedgeLaunched.Load(); got != 0 {
+		t.Errorf("hedged %d times on a one-backend fleet; the duplicate lands on the primary's own box", got)
 	}
 }
 

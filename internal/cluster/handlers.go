@@ -462,7 +462,10 @@ func (c *Coordinator) runDiffJob(ctx context.Context, j *jobs.Job, spec coordJob
 	if err != nil {
 		return nil, err
 	}
-	cands := c.healthyBackends()
+	cands := c.candidates(c.fleet.snapshot())
+	if len(cands) == 0 {
+		return nil, errors.New("no backends available")
+	}
 	start := int(c.rr.Add(1) - 1)
 	var lastErr error
 	for k := range cands {
@@ -528,16 +531,21 @@ func (c *Coordinator) forwardDiff(ctx context.Context, b *backend, body []byte) 
 
 // HealthResponse is the coordinator's GET /healthz body: its own role
 // plus one row per backend with the last scraped load snapshot.
+// Version is the membership generation (bumps on every join/leave).
 type HealthResponse struct {
 	Status   string          `json:"status"`
 	Role     string          `json:"role"`
 	Router   string          `json:"router"`
+	Version  int64           `json:"version"`
 	Backends []BackendStatus `json:"backends"`
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := HealthResponse{Status: "ok", Role: "coordinator", Router: c.router.name()}
-	for _, b := range c.backends {
+	resp := HealthResponse{
+		Status: "ok", Role: "coordinator", Router: c.router.name(),
+		Version: c.fleet.generation(),
+	}
+	for _, b := range c.fleet.snapshot() {
 		resp.Backends = append(resp.Backends, b.status())
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -93,7 +93,18 @@ func drainEstimate(b *backend) float64 {
 	workers := 1.0
 	ewma := 0.05 // optimistic prior: an unprobed backend looks fast
 	if h := b.load.Load(); h != nil {
-		pending += float64(h.QueueDepth) + float64(h.Inflight)
+		// The scraped snapshot counts the cells this coordinator has
+		// in flight too (they are queued or running over there), so
+		// take the larger of the local and remote views rather than
+		// their sum — summing counted every dispatched cell twice once
+		// a probe landed and skewed routing against busy-but-healthy
+		// boxes. The max also covers both staleness directions: cells
+		// dispatched since the probe (local higher) and other clients'
+		// load (remote higher).
+		remote := float64(h.QueueDepth) + float64(h.Inflight)
+		if remote > pending {
+			pending = remote
+		}
 		if h.Workers > 0 {
 			workers = float64(h.Workers)
 		}

@@ -120,6 +120,35 @@ func TestLeastLoadedPrefersIdle(t *testing.T) {
 	}
 }
 
+// TestDrainEstimateCountsDispatchedOnce pins the double-counting fix:
+// a cell this coordinator dispatched shows up both in the local
+// inflight tally and — once a probe lands — in the backend's own
+// queue/inflight numbers. The estimate must take the larger view, not
+// the sum, or a busy-but-healthy box is penalized twice per cell and
+// least-loaded routing skews away from it.
+func TestDrainEstimateCountsDispatchedOnce(t *testing.T) {
+	bs := testBackends(t, "http://a:1", "http://b:1")
+	// a: 2 cells dispatched by us, and the probe already sees both of
+	// them running over there (same 2 cells, seen from both sides).
+	bs[0].inflight.Store(2)
+	bs[0].load.Store(&server.Health{Workers: 1, Inflight: 2, RunSecondsEWMA: 1})
+	// b: nothing from us, but 3 cells of other clients' work.
+	bs[1].load.Store(&server.Health{Workers: 1, Inflight: 3, RunSecondsEWMA: 1})
+
+	a, b := drainEstimate(bs[0]), drainEstimate(bs[1])
+	// Summing would score a at 4 (2 local + 2 remote) and misroute new
+	// cells to the genuinely busier b.
+	if a >= b {
+		t.Errorf("drainEstimate double-counts dispatched cells: a=%v (2 cells) >= b=%v (3 cells)", a, b)
+	}
+	// The local view still counts when the probe is stale: cells
+	// dispatched since the last scrape keep the estimate honest.
+	bs[0].inflight.Store(4) // 4 local now, probe still says 2
+	if got := drainEstimate(bs[0]); got != 4 {
+		t.Errorf("stale probe: drainEstimate=%v, want the larger local view 4", got)
+	}
+}
+
 func TestNewRouterUnknown(t *testing.T) {
 	var rr atomic.Uint64
 	if _, err := newRouter("zigzag", &rr); err == nil {
